@@ -1,0 +1,23 @@
+"""Ablation (Sec. 3.2) — adaptive strict/permissive CCT thresholds.
+
+Paper: a stricter threshold keeps chains sparse (bigger effective window)
+but 'some benchmarks benefit from greater coverage', hence the two
+counters with runtime selection. Disabling the permissive fallback must
+not help, and hurts coverage-hungry benchmarks.
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness import ablation_thresholds, format_ablation_thresholds
+
+SUBSET = ("astar", "milc", "nab", "bzip", "soplex", "lbm")
+
+
+def test_ablation_thresholds(bench_once):
+    data = bench_once(ablation_thresholds, names=SUBSET, scale=BENCH_SCALE)
+    save_table("ablation_thresholds", format_ablation_thresholds(data))
+
+    adaptive = data["geomean"]["adaptive"]
+    strict = data["geomean"]["strict_only"]
+    assert adaptive >= strict - 0.005
+    assert adaptive > 1.02

@@ -1,0 +1,43 @@
+"""Extension — sensitivity to the memory system (paper Sec. 2.4 (a)).
+
+The paper argues runahead's benefit 'gets worse with better memory
+systems' because shorter stalls leave less time for runahead, while CDF
+is unaffected by stall duration. We sweep main-memory speed and check
+that PRE's advantage erodes faster than CDF's as memory gets faster.
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness.sweep import geomean_speedups, memory_speed_knob, sweep
+from repro.harness.tables import percent, render_table
+
+#: Benchmarks with real stall windows for PRE to exploit.
+SUBSET = ("astar", "milc", "zeusmp", "GemsFDTD")
+
+#: 1.0 = DDR4-2400; smaller = faster memory.
+FACTORS = (1.0, 0.5, 0.25)
+
+
+def run_sensitivity(scale):
+    results = sweep(memory_speed_knob, FACTORS, SUBSET, scale=scale)
+    return geomean_speedups(results)
+
+
+def test_extension_memory_sensitivity(bench_once):
+    data = bench_once(run_sensitivity, BENCH_SCALE)
+    rows = [(f"{factor:.2f}x latency", percent(data[factor]["cdf"]),
+             percent(data[factor]["pre"]))
+            for factor in FACTORS]
+    save_table("extension_memory_sensitivity", render_table(
+        "Extension — speedup vs memory speed (PRE needs long stalls)",
+        ("memory timing", "CDF", "PRE"), rows))
+
+    # PRE's gain erodes with faster memory...
+    assert data[0.25]["pre"] < data[1.0]["pre"]
+    # ...and erodes by more than CDF loses (CDF is 'unaffected by this').
+    pre_loss = data[1.0]["pre"] - data[0.25]["pre"]
+    cdf_loss = data[1.0]["cdf"] - data[0.25]["cdf"]
+    assert pre_loss > cdf_loss - 0.01
+    # Both still help at nominal memory speed.
+    assert data[1.0]["cdf"] > 1.0
+    assert data[1.0]["pre"] > 1.0

@@ -1,0 +1,62 @@
+"""Extension bench — compiler-assisted CDF (the paper's future work).
+
+Measures how much of CDF's training ramp a profile-guided hint artifact
+removes: on finite runs, hinted CDF engages from cycle 0 and must match
+or beat hardware-trained CDF.
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.cdf import CDFPipeline, preload_hints, profile_chains
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness import geomean, load_workload
+from repro.harness.tables import percent, render_table
+
+SUBSET = ("astar", "milc", "bzip", "nab")
+
+
+def run_hint_study(scale):
+    rows = {}
+    for name in SUBSET:
+        workload = load_workload(name, scale)
+        trace = workload.trace()
+        hints = profile_chains(workload.program, trace, profile_uops=9000)
+
+        base_cfg = SimConfig.baseline()
+        base_cfg.stats_warmup_uops = workload.warmup_uops()
+        base = BaselinePipeline(trace, base_cfg).run()
+
+        plain_cfg = SimConfig.with_cdf()
+        plain_cfg.stats_warmup_uops = workload.warmup_uops()
+        plain = CDFPipeline(trace, plain_cfg, workload.program).run()
+
+        hinted_cfg = SimConfig.with_cdf()
+        hinted_cfg.stats_warmup_uops = workload.warmup_uops()
+        hinted_pipe = CDFPipeline(trace, hinted_cfg, workload.program)
+        preload_hints(hinted_pipe, hints)
+        hinted = hinted_pipe.run()
+
+        rows[name] = (plain.speedup_over(base), hinted.speedup_over(base),
+                      plain.counters["cdf_mode_cycles"],
+                      hinted.counters["cdf_mode_cycles"])
+    return rows
+
+
+def test_extension_static_hints(bench_once):
+    rows = bench_once(run_hint_study, BENCH_SCALE)
+    table = render_table(
+        "Extension — compiler-assisted CDF (paper Sec. 6 future work)",
+        ("benchmark", "CDF (hw only)", "CDF + hints", "hw mode cyc",
+         "hinted mode cyc"),
+        [(name, percent(plain), percent(hinted), hw_cycles, hint_cycles)
+         for name, (plain, hinted, hw_cycles, hint_cycles)
+         in rows.items()])
+    save_table("extension_static_hints", table)
+
+    plain_geo = geomean(v[0] for v in rows.values())
+    hinted_geo = geomean(v[1] for v in rows.values())
+    # Hints never hurt, and extend CDF-mode residency.
+    assert hinted_geo >= plain_geo - 0.01
+    for name, (plain, hinted, hw_cycles, hint_cycles) in rows.items():
+        assert hint_cycles >= hw_cycles * 0.95, name

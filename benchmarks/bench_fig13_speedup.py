@@ -1,0 +1,45 @@
+"""Fig. 13 — % IPC improvement of CDF and PRE over the baseline.
+
+Paper headline: CDF +6.1% geomean vs PRE +2.6%. The shape checks assert
+the reproduction's qualitative structure: CDF beats PRE overall, wins on
+the branch-criticality family (astar/mcf/soplex/bzip) and the sparse-chain
+benchmarks, while the dense-stencil family favours PRE and the neutral
+family moves for neither.
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness import fig13_speedup, format_fig13, geomean
+from repro.workloads import BRANCH_SENSITIVE, NEUTRAL, PRE_FAVOURABLE
+
+
+def test_fig13_speedup(bench_once):
+    data = bench_once(fig13_speedup, scale=BENCH_SCALE)
+    save_table("fig13_speedup", format_fig13(data))
+
+    cdf_geo = data["geomean"]["cdf"]
+    pre_geo = data["geomean"]["pre"]
+    # Headline band: CDF gains mid-single-digit percent, beating PRE.
+    assert 1.02 < cdf_geo < 1.12, f"CDF geomean {cdf_geo:.3f} out of band"
+    assert cdf_geo > pre_geo, "CDF must beat PRE overall (paper 6.1 vs 2.6)"
+    assert pre_geo > 0.97, "PRE should not lose badly overall"
+
+    # CDF wins clearly on the sparse-chain / branch-criticality families.
+    cdf_branchy = geomean(data["cdf"][n] for n in BRANCH_SENSITIVE)
+    pre_branchy = geomean(data["pre"][n] for n in BRANCH_SENSITIVE)
+    assert cdf_branchy > 1.03
+    assert cdf_branchy > pre_branchy
+
+    # nab: initiation-only benefit — CDF positive, PRE ~nothing (Sec. 2.3).
+    assert data["cdf"]["nab"] > 1.05
+    assert data["pre"]["nab"] < 1.02
+
+    # The dense-stencil family favours PRE; CDF stays ~neutral there.
+    cdf_stencil = geomean(data["cdf"][n] for n in PRE_FAVOURABLE)
+    pre_stencil = geomean(data["pre"][n] for n in PRE_FAVOURABLE)
+    assert pre_stencil > cdf_stencil
+    assert abs(cdf_stencil - 1.0) < 0.03
+
+    # The neutral family moves for neither technique.
+    cdf_neutral = geomean(data["cdf"][n] for n in NEUTRAL)
+    assert abs(cdf_neutral - 1.0) < 0.04

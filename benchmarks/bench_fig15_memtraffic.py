@@ -1,0 +1,26 @@
+"""Fig. 15 — memory traffic relative to the baseline.
+
+Paper: CDF's critical uops are part of the main instruction stream, so it
+adds essentially no traffic; PRE's speculative chains add ~4% more
+traffic than CDF overall (wrong addresses + duplicated fetches).
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness import fig15_traffic, format_fig15
+
+
+def test_fig15_memtraffic(bench_once):
+    data = bench_once(fig15_traffic, scale=BENCH_SCALE)
+    save_table("fig15_memtraffic", format_fig15(data))
+
+    cdf_geo = data["geomean"]["cdf"]
+    pre_geo = data["geomean"]["pre"]
+    # CDF stays within a whisker of baseline traffic on every benchmark.
+    assert 0.97 < cdf_geo < 1.03
+    for name, ratio in data["cdf"].items():
+        assert ratio < 1.05, f"CDF added traffic on {name}: {ratio:.2f}"
+    # PRE generates extra traffic, and more than CDF (paper: ~4% more).
+    assert pre_geo > cdf_geo + 0.01
+    worst = max(data["pre"].values())
+    assert worst > 1.05, "some benchmark should show PRE's traffic cost"

@@ -1,0 +1,25 @@
+"""Fig. 16 — energy relative to the baseline.
+
+Paper: CDF *reduces* energy 3.5% (runtime drops; its structures add only
+~2% overhead), while PRE *increases* energy 3.7% (extra traffic plus
+duplicate instructions executed twice).
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness import fig16_energy, format_fig16
+
+
+def test_fig16_energy(bench_once):
+    data = bench_once(fig16_energy, scale=BENCH_SCALE)
+    save_table("fig16_energy", format_fig16(data))
+
+    cdf_geo = data["geomean"]["cdf"]
+    pre_geo = data["geomean"]["pre"]
+    # Signs match the paper: CDF saves energy, PRE costs energy.
+    assert cdf_geo < 1.0, f"CDF should save energy, got {cdf_geo:.3f}"
+    assert pre_geo > 1.0, f"PRE should cost energy, got {pre_geo:.3f}"
+    assert pre_geo - cdf_geo > 0.01
+    # CDF's biggest savings come on its biggest speedups.
+    biggest_saving = min(data["cdf"].values())
+    assert biggest_saving < 0.99

@@ -1,0 +1,44 @@
+"""Fig. 17 — CDF and baseline cores across ROB sizes.
+
+Paper: with larger windows CDF keeps its advantage (more critical loads
+packed together); a baseline scaled to CDF's area (~+3.2%) yields only
++3.7% IPC while costing more energy. We sweep ROB sizes with the other
+window structures scaled proportionately and check the relative shape.
+"""
+
+from conftest import BENCH_SCALE, save_table
+
+from repro.harness import fig17_scaling, format_fig17
+
+#: A representative subset (CDF-winners + stencil + neutral) keeps the
+#: 2-mode x 4-size sweep tractable.
+SUBSET = ("astar", "milc", "nab", "lbm", "zeusmp", "sphinx")
+ROB_SIZES = (192, 256, 352, 512)
+
+
+def test_fig17_scaling(bench_once):
+    data = bench_once(fig17_scaling, rob_sizes=ROB_SIZES, names=SUBSET,
+                      scale=BENCH_SCALE)
+    save_table("fig17_scaling", format_fig17(data))
+
+    ipc = data["ipc"]
+    # Bigger baseline windows help, with diminishing returns.
+    assert ipc[(512, "baseline")] > ipc[(192, "baseline")]
+    small_step = ipc[(256, "baseline")] / ipc[(192, "baseline")]
+    big_step = ipc[(512, "baseline")] / ipc[(352, "baseline")]
+    assert small_step > big_step * 0.98   # diminishing (or flat) returns
+
+    # CDF beats the equal-size baseline at every window size.
+    for rob in ROB_SIZES:
+        assert ipc[(rob, "cdf")] > ipc[(rob, "baseline")] * 0.995, rob
+
+    # The paper's area argument: CDF at 352 beats a baseline scaled up
+    # by far more than CDF's ~3.2% area (512 entries is +45%).
+    assert ipc[(352, "cdf")] > ipc[(352, "baseline")]
+    cdf_gain = ipc[(352, "cdf")] / ipc[(352, "baseline")]
+    scaled_gain = ipc[(512, "baseline")] / ipc[(352, "baseline")]
+    assert cdf_gain > scaled_gain - 0.02
+
+    # Energy: the scaled-up baseline consumes more energy than CDF at 352.
+    energy = data["energy"]
+    assert energy[(512, "baseline")] > energy[(352, "cdf")] * 0.98

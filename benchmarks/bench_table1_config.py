@@ -1,0 +1,47 @@
+"""Table 1 — simulation parameters.
+
+Checks that the default configuration equals the paper's Table 1 and
+renders it; also verifies the CDF area overhead lands near the paper's
+3.2%.
+"""
+
+from conftest import save_table
+
+from repro.config import SimConfig
+from repro.energy import EnergyModel
+from repro.harness import table1_text
+
+
+def test_table1_config(bench_once):
+    text = bench_once(table1_text)
+    save_table("table1_config", text)
+
+    cfg = SimConfig.baseline()
+    # Core (Table 1).
+    assert cfg.core.freq_ghz == 3.2
+    assert cfg.core.issue_width == 6
+    assert cfg.core.rob_size == 352
+    assert cfg.core.rs_size == 160
+    assert cfg.core.lq_size == 128
+    assert cfg.core.sq_size == 72
+    # Caches.
+    assert cfg.l1i.size_bytes == 32 * 1024 and cfg.l1i.ways == 8
+    assert cfg.l1d.latency == 2
+    assert cfg.llc.size_bytes == 1024 * 1024 and cfg.llc.ways == 16
+    assert cfg.llc.latency == 18
+    assert cfg.llc.line_bytes == 64
+    # Memory.
+    assert cfg.dram.channels == 2 and cfg.dram.ranks == 1
+    assert cfg.dram.bank_groups == 4 and cfg.dram.banks_per_group == 4
+    assert (cfg.dram.trp, cfg.dram.tcl, cfg.dram.trcd) == (16, 16, 16)
+    # CDF structures.
+    cdf = SimConfig.with_cdf().cdf
+    assert cdf.cct_entries == 64 and cdf.cct_ways == 2
+    assert cdf.mask_cache_entries * 8 == 4 * 1024                # 4KB
+    assert cdf.uop_cache_entries * cdf.uops_per_trace * 8 == 18 * 1024  # 18KB
+    assert cdf.fill_buffer_entries == 1024
+    assert cdf.delayed_branch_queue_entries == 256
+    assert cdf.critical_map_queue_entries == 256
+    # Area overhead near the paper's 3.2%.
+    overhead = EnergyModel(SimConfig.with_cdf()).cdf_area_overhead()
+    assert 0.02 < overhead < 0.05

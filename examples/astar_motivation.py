@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 2/3 motivation, reproduced end to end.
+
+astar's inner loop loads an index from a (prefetchable) array and uses it
+to access a large array that misses the LLC. On the baseline core the
+ROB fills up with non-critical loop body work, holding only a few
+instances of the critical load; CDF packs the critical chains instead.
+
+This script shows all three paper motivations on the astar kernel:
+  (a) MLP:    outstanding-miss parallelism grows under CDF;
+  (b) branch: the hard bound-check branch resolves earlier;
+  (c) window: the sequential span covered by in-flight critical loads
+              exceeds the ROB size.
+
+Run:  python examples/astar_motivation.py [scale]
+"""
+
+import sys
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness import load_workload
+from repro.harness.tables import render_table
+from repro.stats import mark_critical_chains
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    workload = load_workload("astar", scale)
+    trace = workload.trace()
+    print(f"astar kernel: {len(trace)} dynamic uops\n")
+    print("Inner loop (paper Fig. 2):")
+    listing = workload.program.disassemble().splitlines()
+    print("\n".join("  " + line for line in listing[:16]))
+    print("  ...\n")
+
+    base_cfg = SimConfig.baseline()
+    base_cfg.stats_warmup_uops = workload.warmup_uops()
+    base_pipe = BaselinePipeline(trace, base_cfg, benchmark="astar",
+                                 profile_rob_stalls=True)
+    base = base_pipe.run()
+
+    cdf_cfg = SimConfig.with_cdf()
+    cdf_cfg.stats_warmup_uops = workload.warmup_uops()
+    cdf_pipe = CDFPipeline(trace, cdf_cfg, workload.program,
+                           benchmark="astar")
+    cdf = cdf_pipe.run()
+
+    # Fig. 1-style breakdown for this kernel.
+    roots = base_pipe.llc_miss_load_seqs + base_pipe.mispredicted_branch_seqs
+    critical = mark_critical_chains(trace, roots)
+    fraction = base_pipe.profiler.critical_fraction(critical)
+    print(f"During baseline full-window stalls, only "
+          f"{100 * fraction:.1f}% of ROB slots hold critical uops "
+          f"(paper Fig. 1: the window is mostly non-critical work).\n")
+
+    rows = [
+        ("IPC", f"{base.ipc:.3f}", f"{cdf.ipc:.3f}",
+         f"{cdf.ipc / base.ipc:.3f}x"),
+        ("MLP", f"{base.mlp:.2f}", f"{cdf.mlp:.2f}",
+         f"{cdf.mlp / max(base.mlp, 1e-9):.3f}x"),
+        ("DRAM transfers", base.total_traffic, cdf.total_traffic,
+         f"{cdf.traffic_ratio(base):.3f}x"),
+        ("full-window stalls", base.full_window_stall_cycles,
+         cdf.full_window_stall_cycles, ""),
+    ]
+    print(render_table("astar: baseline vs CDF (paper Fig. 3 effect)",
+                       ("metric", "baseline", "CDF", "ratio"), rows))
+
+    print(f"\nCritical fetch ran ahead through "
+          f"{cdf.counters['crit_fetch_uops']} uops; "
+          f"{cdf.counters['crit_fetch_blocked_on_critical_branch']} stalls "
+          "waited on critical (early-resolving) branches vs "
+          f"{cdf.counters['crit_fetch_blocked_on_noncritical_branch']} on "
+          "non-critical ones.")
+
+
+if __name__ == "__main__":
+    main()

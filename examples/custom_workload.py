@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write assembly, run it under all three cores.
+
+Shows the full public API surface below the benchmark suite: the text
+assembler, the functional simulator, and direct pipeline construction
+with a custom configuration. The kernel here is a tiny pointer-chase +
+gather mix you can edit freely.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness.tables import render_table
+from repro.isa import assemble, execute, trace_summary
+from repro.runahead import PREPipeline
+
+KERNEL = """
+; r1 = iterations, r2 = index table, r3 = big array, r4 = i
+    movi r1, 1200
+    movi r2, 16777216
+    movi r3, 67108864
+    movi r4, 0
+loop:
+    and  r5, r4, 8191
+    load r6, [r2 + r5*8]        ; idx = table[i & 8191]   (LLC resident)
+    load r7, [r3 + r6*8]        ; big[idx]                (LLC miss)
+    add  r8, r8, r7
+    ; some non-critical work
+    movi r20, 3
+    add  r20, r20, 5
+    mul  r21, r20, 7
+    add  r22, r21, 9
+    mul  r23, r22, 2
+    add  r24, r23, 4
+    add  r4, r4, 1
+    sub  r1, r1, 1
+    bnez r1, loop
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(KERNEL)
+    rng = random.Random(1)
+    memory = {16777216 + i * 8: rng.randrange(1 << 20) for i in range(8192)}
+
+    trace = execute(program, memory, max_uops=200_000)
+    print("kernel mix:", trace_summary(trace), "\n")
+
+    base = BaselinePipeline(trace, SimConfig.baseline()).run()
+    cdf = CDFPipeline(trace, SimConfig.with_cdf(), program).run()
+    pre = PREPipeline(trace, SimConfig.with_pre(), program).run()
+
+    rows = [(r.mode, f"{r.ipc:.3f}", f"{r.ipc / base.ipc:.3f}x",
+             f"{r.mlp:.2f}", r.total_traffic)
+            for r in (base, cdf, pre)]
+    print(render_table("custom kernel under the three cores",
+                       ("core", "IPC", "speedup", "MLP", "DRAM xfers"),
+                       rows))
+
+    # Try a different machine: halve the ROB.
+    small = SimConfig.with_cdf()
+    small.core = small.core.scaled(176)
+    cdf_small = CDFPipeline(trace, small, program).run()
+    print(f"\nCDF with a 176-entry ROB still reaches "
+          f"{cdf_small.ipc / base.ipc:.3f}x of the 352-entry baseline "
+          "(critical chains span more than the window).")
+
+
+if __name__ == "__main__":
+    main()

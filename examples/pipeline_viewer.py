@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Watch CDF reorder the machine: a per-uop pipeline waterfall.
+
+Runs a small slice of the astar kernel on the baseline and CDF cores with
+event logging on, then renders a per-uop timeline. On the CDF core the
+critical chain (index load -> gather -> branch) is fetched ('f') and
+renamed ('d') far ahead of its program-order position, its loads execute
+('=') while the non-critical stream is still catching up, and the rename
+replay ('p') stitches the two streams back together.
+
+Run:  python examples/pipeline_viewer.py [seq_window_start_iteration]
+"""
+
+import sys
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness import load_workload
+from repro.harness.timeline import first_seq_at_pc, render_timeline
+
+
+def main() -> None:
+    iteration = int(sys.argv[1]) if len(sys.argv) > 1 else 180
+    workload = load_workload("astar", 0.3)
+    trace = workload.trace()
+
+    # Window: two loop iterations somewhere past CDF's training ramp.
+    gather_pc = next(u.pc for u in trace
+                     if u.is_load and u.mem_addr >= (1 << 26))
+    instances = sum(1 for u in trace if u.pc == gather_pc)
+    iteration = min(iteration, instances - 4)
+    start = first_seq_at_pc(trace, gather_pc, occurrence=iteration)
+    body = 95
+    window = (start - 2, start - 2 + 2 * body)
+
+    for mode, make in (
+            ("BASELINE", lambda: BaselinePipeline(
+                trace, SimConfig.baseline())),
+            ("CDF", lambda: CDFPipeline(
+                trace, SimConfig.with_cdf(), workload.program))):
+        pipeline = make()
+        pipeline.event_log = []
+        pipeline.run()
+        print(f"\n=== {mode} ===")
+        print(render_timeline(pipeline.event_log, trace, *window))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under all three cores and compare.
+
+This is the smallest end-to-end use of the library:
+
+1. build a workload (program + initial memory) from the suite,
+2. execute it functionally to get the dynamic uop trace,
+3. replay the trace on the baseline, CDF, and Precise Runahead cores,
+4. compare IPC / MLP / DRAM traffic / energy.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.harness import run_benchmark
+from repro.harness.tables import render_table
+from repro.workloads import suite_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "astar"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if name not in suite_names():
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"choose from: {', '.join(suite_names())}")
+
+    print(f"Running '{name}' (scale {scale}) under baseline, CDF, PRE ...\n")
+    results = {mode: run_benchmark(name, mode, scale=scale)
+               for mode in ("baseline", "cdf", "pre")}
+
+    base = results["baseline"]
+    rows = []
+    for mode, result in results.items():
+        rows.append((
+            mode,
+            f"{result.ipc:.3f}",
+            f"{result.ipc / base.ipc:.3f}x",
+            f"{result.mlp:.2f}",
+            f"{result.total_traffic}",
+            f"{result.energy_nj / 1000:.1f} uJ",
+        ))
+    print(render_table(
+        f"{name}: baseline vs CDF vs PRE",
+        ("core", "IPC", "speedup", "MLP", "DRAM xfers", "energy"), rows))
+
+    cdf = results["cdf"]
+    print(f"\nCDF engaged for {cdf.counters['cdf_mode_cycles']} cycles "
+          f"({cdf.counters['cdf_mode_entries']} mode entries), "
+          f"fetched {cdf.counters['crit_fetch_uops']} uops critically, "
+          f"with {cdf.counters['dependence_violations']} dependence "
+          f"violations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Criticality Driven Fetch — a Python reproduction.
+
+A cycle-level reproduction of "Criticality Driven Fetch" (Deshmukh &
+Patt, MICRO 2021, DOI 10.1145/3466752.3480115): the baseline OoO core,
+the CDF machinery, the Precise Runahead comparator, the memory system,
+the energy model, the synthetic SPEC-like workload suite, and the
+harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import run_benchmark
+
+    base = run_benchmark("astar", "baseline", scale=0.5)
+    cdf = run_benchmark("astar", "cdf", scale=0.5)
+    print(cdf.ipc / base.ipc)
+
+See README.md for the guided tour and DESIGN.md for the system map.
+"""
+
+from .cdf import CDFPipeline
+from .config import (
+    CacheConfig,
+    CDFConfig,
+    CoreConfig,
+    DRAMConfig,
+    PREConfig,
+    PrefetcherConfig,
+    SimConfig,
+)
+from .core import BaselinePipeline
+from .energy import EnergyModel
+from .harness import run_benchmark, run_comparison
+from .isa import Program, ProgramBuilder, assemble, execute
+from .runahead import PREPipeline
+from .stats import SimResult
+from .workloads import SUITE, Workload, get_workload, suite_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDFPipeline",
+    "BaselinePipeline",
+    "PREPipeline",
+    "SimConfig",
+    "CoreConfig",
+    "CacheConfig",
+    "CDFConfig",
+    "DRAMConfig",
+    "PREConfig",
+    "PrefetcherConfig",
+    "EnergyModel",
+    "run_benchmark",
+    "run_comparison",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "execute",
+    "SimResult",
+    "SUITE",
+    "Workload",
+    "get_workload",
+    "suite_names",
+    "__version__",
+]

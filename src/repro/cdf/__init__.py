@@ -1,0 +1,36 @@
+"""Criticality Driven Fetch: the paper's primary contribution."""
+
+from .cct import CriticalCountTable, make_branch_cct, make_load_cct
+from .cdf_pipeline import CDFPipeline
+from .fill_buffer import FillBuffer, FillBufferEntry, WalkResult
+from .mask_cache import MaskCache
+from .partition import PartitionController, PartitionedResource
+from .queues import CMQEntry, CriticalMapQueue, DBQEntry, DelayedBranchQueue
+from .uop_cache import CriticalUopCache, UopCacheEntry
+
+__all__ = [
+    "CriticalCountTable",
+    "make_branch_cct",
+    "make_load_cct",
+    "CDFPipeline",
+    "FillBuffer",
+    "FillBufferEntry",
+    "WalkResult",
+    "MaskCache",
+    "PartitionController",
+    "PartitionedResource",
+    "CMQEntry",
+    "CriticalMapQueue",
+    "DBQEntry",
+    "DelayedBranchQueue",
+    "CriticalUopCache",
+    "UopCacheEntry",
+]
+
+from .static_hints import (  # noqa: E402
+    StaticChainHints,
+    preload_hints,
+    profile_chains,
+)
+
+__all__ += ["StaticChainHints", "preload_hints", "profile_chains"]

@@ -1,0 +1,130 @@
+"""Critical Count Tables (Sec. 3.2).
+
+A small set-associative table, updated at retire time, that predicts which
+static loads miss in the LLC (and, in a second instance, which static
+branches are hard to predict). Each entry holds *two* saturating counters:
+
+* a **strict** counter that needs sustained evidence before marking the
+  instruction critical (fewer marks -> sparser chains -> larger effective
+  window), and
+* a **permissive** counter that marks sooner (better coverage).
+
+At runtime CDF measures the fraction of retired uops marked critical and
+selects the permissive counters when coverage is too low — the paper's
+mechanism for handling the two benchmark families it identifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import CDFConfig
+
+
+class _CCTEntry:
+    __slots__ = ("pc", "strict", "permissive", "lru")
+
+    def __init__(self) -> None:
+        self.pc = -1
+        self.strict = 0
+        self.permissive = 0
+        self.lru = 0
+
+
+class CriticalCountTable:
+    """One Critical Count Table instance (loads or branches)."""
+
+    def __init__(self, entries: int, ways: int,
+                 strict_max: int, strict_threshold: int,
+                 permissive_max: int, permissive_threshold: int,
+                 increment: int = 1) -> None:
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.num_sets = entries // ways
+        self.ways = ways
+        #: Counter step on a critical event. The branch table uses an
+        #: asymmetric +2/-1 walk: a 50%-mispredicting branch (the hardest
+        #: kind, and exactly the kind CDF wants) would never cross any
+        #: threshold under a symmetric +1/-1 update.
+        self.increment = increment
+        self.strict_max = strict_max
+        self.strict_threshold = strict_threshold
+        self.permissive_max = permissive_max
+        self.permissive_threshold = permissive_threshold
+        self._sets = [[_CCTEntry() for _ in range(ways)]
+                      for _ in range(self.num_sets)]
+        self._clock = 0
+        self.updates = 0
+        self.evictions = 0
+
+    def _find(self, pc: int) -> Optional[_CCTEntry]:
+        for entry in self._sets[pc % self.num_sets]:
+            if entry.pc == pc:
+                return entry
+        return None
+
+    def update(self, pc: int, was_critical_event: bool) -> None:
+        """Retire-time training: increment on LLC miss / mispredict,
+        decrement otherwise. Allocates on first critical event only."""
+        self._clock += 1
+        self.updates += 1
+        entry = self._find(pc)
+        if entry is None:
+            if not was_critical_event:
+                return
+            bucket = self._sets[pc % self.num_sets]
+            entry = min(bucket, key=lambda e: (e.pc != -1, e.lru))
+            if entry.pc != -1:
+                self.evictions += 1
+            entry.pc = pc
+            entry.strict = 0
+            entry.permissive = 0
+        entry.lru = self._clock
+        if was_critical_event:
+            entry.strict = min(self.strict_max,
+                               entry.strict + self.increment)
+            entry.permissive = min(self.permissive_max,
+                                   entry.permissive + self.increment)
+        else:
+            if entry.strict > 0:
+                entry.strict -= 1
+            if entry.permissive > 0:
+                entry.permissive -= 1
+
+    def is_critical(self, pc: int, permissive: bool = False) -> bool:
+        """Predict criticality for *pc* under the selected threshold."""
+        entry = self._find(pc)
+        if entry is None:
+            return False
+        if permissive:
+            return entry.permissive >= self.permissive_threshold
+        return entry.strict >= self.strict_threshold
+
+    def counters_for(self, pc: int):
+        """Expose (strict, permissive) counter values, for tests/debug."""
+        entry = self._find(pc)
+        if entry is None:
+            return None
+        return entry.strict, entry.permissive
+
+
+def make_load_cct(config: CDFConfig) -> CriticalCountTable:
+    """The load Critical Count Table with Table 1 geometry."""
+    return CriticalCountTable(
+        entries=config.cct_entries, ways=config.cct_ways,
+        strict_max=config.strict_counter_max,
+        strict_threshold=config.strict_threshold,
+        permissive_max=config.permissive_counter_max,
+        permissive_threshold=config.permissive_threshold)
+
+
+def make_branch_cct(config: CDFConfig) -> CriticalCountTable:
+    """The hard-to-predict-branch table ('tracked similarly in a separate
+    table' with different thresholds)."""
+    return CriticalCountTable(
+        entries=config.branch_table_entries, ways=config.branch_table_ways,
+        strict_max=config.branch_counter_max,
+        strict_threshold=config.branch_strict_threshold,
+        permissive_max=config.branch_counter_max,
+        permissive_threshold=config.branch_permissive_threshold,
+        increment=config.branch_counter_increment)

@@ -1,0 +1,671 @@
+"""The Criticality Driven Fetch pipeline (Sec. 3).
+
+Extends the baseline OoO core with the full CDF machinery:
+
+* retire-time training of the Critical Count Tables and the Fill Buffer;
+* periodic backwards dataflow walks building Mask Cache masks and Critical
+  Uop Cache traces (density-gated, fill-latency delayed);
+* CDF mode entry on a Critical Uop Cache hit;
+* a critical fetch engine that walks basic blocks through the uop cache,
+  predicting every branch once (recording outcomes in the Delayed Branch
+  Queue) and emitting only critical uops to the critical rename stage;
+* a non-critical stream that fetches *all* uops from the I-cache, takes
+  its control flow from the DBQ, renames non-critical uops normally, and
+  replays the renames of critical uops via the Critical Map Queue;
+* a dynamically partitioned backend (ROB/LQ/SQ sections, RS/PRF shares);
+* program-order retirement across the two ROB sections;
+* poison-bit dependence-violation detection with critical-stream flush.
+
+Timestamps: the paper assigns skip-aware timestamps so the two streams
+interleave correctly; the dynamic trace's sequence numbers serve that role
+here exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Optional, Sequence
+
+from ..config import SimConfig
+from ..core.pipeline import BaselinePipeline
+from ..core.rob import COMPLETE, READY, WAITING, RobEntry
+from ..isa.dynuop import DynUop
+from ..isa.program import Program
+from .cct import make_branch_cct, make_load_cct
+from .fill_buffer import FillBuffer, FillBufferEntry
+from .mask_cache import MaskCache
+from .partition import PartitionController
+from .queues import CMQEntry, CriticalMapQueue, DBQEntry, DelayedBranchQueue
+from .uop_cache import CriticalUopCache
+
+#: Basic blocks the critical fetch engine can traverse per cycle (one or
+#: two trace-cache lines).
+BBS_PER_CYCLE = 2
+
+#: Capacity of the Critical Instruction Buffers between critical fetch and
+#: critical rename (Fig. 4).
+CRIT_FETCH_BUFFER_CAP = 24
+
+#: Pipeline depth from the Critical Uop Cache to critical rename (decoded
+#: uops skip decode).
+CRIT_FETCH_LATENCY = 2
+
+
+class CDFPipeline(BaselinePipeline):
+    """Baseline core + Criticality Driven Fetch."""
+
+    def __init__(self, trace: Sequence[DynUop], config: SimConfig,
+                 program: Program, benchmark: str = "bench",
+                 **kwargs) -> None:
+        super().__init__(trace, config, benchmark, **kwargs)
+        if not config.cdf.enabled:
+            raise ValueError("CDFPipeline requires config.cdf.enabled")
+        self.program = program
+        cdf = config.cdf
+        self.cdf_cfg = cdf
+        # Static basic-block map (pc -> leader pc).
+        self.bb_start = [program.basic_block_start(pc)
+                         for pc in range(len(program))]
+
+        # Criticality prediction and trace construction.
+        self.cct_loads = make_load_cct(cdf)
+        self.cct_branches = make_branch_cct(cdf)
+        self.fill_buffer = FillBuffer(cdf.fill_buffer_entries)
+        self.mask_cache = MaskCache(cdf.mask_cache_entries,
+                                    cdf.mask_cache_ways)
+        self.uop_cache = CriticalUopCache(cdf.uop_cache_entries,
+                                          cdf.uop_cache_ways,
+                                          cdf.uops_per_trace)
+        self.use_permissive = False
+        self._retired_since_fill = 0
+        self._retired_since_mask_reset = 0
+        self._interval_retired = 0
+        self._interval_critical = 0
+
+        # CDF mode and the critical fetch engine.
+        self.cdf_mode = False
+        self.crit_seq = 0
+        self.mode_entry_seq = 0
+        self.crit_stopped = False
+        self.crit_stop_seq: Optional[int] = None
+        self.crit_blocked_on: Optional[int] = None
+        self.crit_resume_cycle = 0
+        self.crit_fetch_buffer: deque = deque()
+        self.critically_fetched = set()
+        # Every seq renamed by the critical stream in the current CDF
+        # session: their destinations are in the critical RAT, so they are
+        # legitimate producers for later critical uops even after they
+        # retire (cleared at mode entry).
+        self._crit_session_seqs = set()
+
+        # FIFOs.
+        self.dbq = DelayedBranchQueue(cdf.delayed_branch_queue_entries)
+        self.cmq = CriticalMapQueue(cdf.critical_map_queue_entries)
+
+        # Partitioned backend. The baseline's `rob` deque becomes the
+        # non-critical section; the critical section is separate.
+        self.rob_crit: deque = deque()
+        self.partitions = PartitionController(
+            cdf, config.core.rob_size, config.core.lq_size,
+            config.core.sq_size, config.core.rs_size)
+        self.rs_crit_used = 0
+        self.lq_crit_used = 0
+        self.sq_crit_used = 0
+        self.writers_crit = 0
+
+        # Replay / retirement ordering.
+        self.replay_frontier = 0
+        self.last_retired_seq = -1
+        self._rename_stall_until = 0
+
+        self._extra_stage = 1 if cdf.extra_rename_stage else 0
+
+    def _mode_name(self) -> str:
+        return "cdf"
+
+    # ================================================================ retire
+    def _retire(self, cycle: int) -> None:
+        budget = self.retire_width
+        rob_crit = self.rob_crit
+        rob_noncrit = self.rob
+        while budget:
+            head_c = rob_crit[0] if rob_crit else None
+            head_n = rob_noncrit[0] if rob_noncrit else None
+            if head_c is None and head_n is None:
+                break
+            if head_n is None or (head_c is not None
+                                  and head_c.seq < head_n.seq):
+                entry = head_c
+                from_critical = True
+                # Every older uop must have been seen by the regular
+                # rename stage (in-order RAT update), which implies all
+                # older non-critical uops are dispatched and retired.
+                if self.replay_frontier <= entry.seq:
+                    break
+            else:
+                entry = head_n
+                from_critical = False
+            if entry.state != COMPLETE or entry.complete_cycle > cycle:
+                break
+            if from_critical:
+                rob_crit.popleft()
+                self.lq_crit_used -= entry.uop.is_load
+                self.sq_crit_used -= entry.uop.is_store
+                if entry.uop.writes_reg:
+                    self.writers_crit -= 1
+            else:
+                rob_noncrit.popleft()
+                self.lq_used -= entry.uop.is_load
+                self.sq_used -= entry.uop.is_store
+                if entry.uop.writes_reg:
+                    self.writers_inflight -= 1
+            del self.inflight[entry.seq]
+            if entry.uop.is_store:
+                self.mem.store_commit(cycle, entry.uop.mem_addr)
+            self.last_retired_seq = entry.seq
+            self.retired += 1
+            self._retired_this_cycle += 1
+            budget -= 1
+            self.counters.bump("rob_reads")
+            if self.event_log is not None:
+                self.event_log.append((cycle, "R", entry.seq))
+            self._on_retire(entry, cycle)
+
+    # ---------------------------------------------------------- CCT training
+    def _on_retire(self, entry: RobEntry, cycle: int) -> None:
+        uop = entry.uop
+        cdf = self.cdf_cfg
+        root_critical = False
+        if uop.is_load:
+            self.cct_loads.update(uop.pc, entry.llc_miss)
+            self.counters.bump("cct_updates")
+            root_critical = self.cct_loads.is_critical(
+                uop.pc, self.use_permissive)
+        elif uop.is_cond_branch:
+            self.cct_branches.update(uop.pc, entry.mispredicted)
+            self.counters.bump("cct_updates")
+            if cdf.mark_branches_critical:
+                root_critical = self.cct_branches.is_critical(
+                    uop.pc, self.use_permissive)
+        elif cdf.mark_longlat_critical \
+                and uop.exec_lat >= cdf.longlat_min_latency:
+            # Generalised criticality (Sec. 6): long-latency arithmetic
+            # roots chains too.
+            root_critical = True
+            self.counters.bump("longlat_roots")
+        self.fill_buffer.record(FillBufferEntry(
+            seq=uop.seq, pc=uop.pc, bb_start=self.bb_start[uop.pc],
+            dst=uop.dst if uop.writes_reg else None, srcs=uop.srcs,
+            mem_addr=uop.mem_addr, is_load=uop.is_load,
+            is_store=uop.is_store, is_branch=uop.is_branch,
+            root_critical=root_critical))
+
+        self._interval_retired += 1
+        if entry.critical:
+            self._interval_critical += 1
+        self._retired_since_fill += 1
+        self._retired_since_mask_reset += 1
+        if self._retired_since_mask_reset >= cdf.mask_cache_reset_interval:
+            self.mask_cache.reset()
+            self._retired_since_mask_reset = 0
+        if self._retired_since_fill >= cdf.fill_interval_uops \
+                and self.fill_buffer.full:
+            self._do_fill(cycle)
+
+    def _do_fill(self, cycle: int) -> None:
+        """Run the backwards dataflow walk and install traces."""
+        cdf = self.cdf_cfg
+        # Adapt strict/permissive selection to measured coverage.
+        if self._interval_retired:
+            fraction = self._interval_critical / self._interval_retired
+            self.use_permissive = fraction < cdf.low_coverage_fraction
+        self._interval_retired = 0
+        self._interval_critical = 0
+
+        result = self.fill_buffer.walk(self.mask_cache.snapshot_masks())
+        self.counters.bump("fill_walks")
+        self.counters.bump("fill_walk_uops", result.total)
+        fraction = result.critical_fraction
+        if fraction < cdf.min_critical_fraction \
+                or fraction > cdf.max_critical_fraction:
+            for bb in result.bb_masks:
+                self.uop_cache.remove(bb)
+                self.mask_cache.remove(bb)
+            self.counters.bump("fill_rejected")
+        else:
+            valid_from = cycle + cdf.fill_latency_cycles
+            for bb, mask in result.bb_masks.items():
+                merged = self.mask_cache.accumulate(bb, mask)
+                self.uop_cache.fill(
+                    bb, merged,
+                    result.bb_ends_in_branch.get(bb, False), valid_from)
+            self.counters.bump("fill_applied")
+        self._retired_since_fill = 0
+
+    # ================================================================ fetch
+    def _fetch(self, cycle: int) -> None:
+        if not self.cdf_mode:
+            self._maybe_enter_cdf(cycle)
+        if not self.cdf_mode:
+            super()._fetch(cycle)
+            return
+        self.counters.bump("cdf_mode_cycles")
+        self._critical_fetch(cycle)
+        self._regular_fetch_cdf(cycle)
+        self._maybe_exit_cdf(cycle)
+
+    def _maybe_enter_cdf(self, cycle: int) -> None:
+        if self.fetch_blocked_on is not None \
+                or cycle < self.fetch_resume_cycle \
+                or self.fetch_seq >= len(self.trace):
+            return
+        pc = self.trace[self.fetch_seq].pc
+        entry = self.uop_cache.lookup(self.bb_start[pc], cycle)
+        if entry is None or entry.mask == 0:
+            return
+        self.cdf_mode = True
+        self.crit_seq = self.fetch_seq
+        self.mode_entry_seq = self.fetch_seq
+        self.crit_stopped = False
+        self.crit_stop_seq = None
+        self.crit_blocked_on = None
+        self.crit_resume_cycle = cycle
+        self._crit_session_seqs = set()
+        self.partitions.on_mode_entry()
+        self.counters.bump("cdf_mode_entries")
+
+    def _stop_critical_fetch(self) -> None:
+        self.crit_stopped = True
+        self.crit_stop_seq = self.crit_seq
+        self.crit_blocked_on = None
+
+    def _critical_fetch(self, cycle: int) -> None:
+        if self.crit_stopped or self.crit_blocked_on is not None \
+                or cycle < self.crit_resume_cycle:
+            return
+        trace = self.trace
+        total = len(trace)
+        bb_start = self.bb_start
+        buffer = self.crit_fetch_buffer
+        ready_at = cycle + CRIT_FETCH_LATENCY
+        emitted = 0
+        bbs_left = BBS_PER_CYCLE
+        while bbs_left and emitted < self.fetch_width:
+            if self.crit_seq >= total:
+                self._stop_critical_fetch()
+                return
+            bb = bb_start[trace[self.crit_seq].pc]
+            entry = self.uop_cache.lookup(bb, cycle)
+            if entry is None:
+                self._stop_critical_fetch()
+                self.counters.bump("cdf_exit_uop_cache_miss")
+                return
+            mask = entry.mask
+            self.counters.bump("uop_cache_reads")
+            # Traverse this basic-block instance.
+            while self.crit_seq < total:
+                uop = trace[self.crit_seq]
+                if bb_start[uop.pc] != bb:
+                    break   # flowed into the next block
+                is_crit = (mask >> (uop.pc - bb)) & 1
+                if uop.is_branch and self.dbq.full:
+                    return  # stall: DBQ has no room for the prediction
+                if is_crit and len(buffer) >= CRIT_FETCH_BUFFER_CAP:
+                    return  # stall: critical instruction buffer full
+                mispredicted = False
+                if uop.is_branch:
+                    self.counters.bump("bpred_accesses")
+                    outcome = self.branch_unit.predict_and_train(uop)
+                    mispredicted = outcome.mispredicted
+                    if mispredicted:
+                        self._mispredicted_seqs.add(uop.seq)
+                        self.mispredicted_branch_seqs.append(uop.seq)
+                    self.dbq.push(DBQEntry(uop.seq, outcome.predicted_taken,
+                                           mispredicted, is_crit))
+                if is_crit:
+                    buffer.append((ready_at, uop))
+                    self.critically_fetched.add(uop.seq)
+                    if self.event_log is not None:
+                        self.event_log.append((cycle, "f", uop.seq))
+                    self.counters.bump("crit_fetch_uops")
+                    emitted += 1
+                self.crit_seq += 1
+                if uop.is_branch:
+                    if mispredicted:
+                        # Wait for resolution: early if the branch is
+                        # critical (fetched just now), late if it will
+                        # only execute in the non-critical stream.
+                        self.crit_blocked_on = uop.seq
+                        self.counters.bump(
+                            "crit_fetch_blocked_on_critical_branch"
+                            if is_crit else
+                            "crit_fetch_blocked_on_noncritical_branch")
+                        return
+                    break   # basic block ends at its branch
+                if emitted >= self.fetch_width:
+                    return  # mid-block; resume here next cycle
+            bbs_left -= 1
+
+    def _regular_fetch_cdf(self, cycle: int) -> None:
+        if self.fetch_blocked_on is not None \
+                or cycle < self.fetch_resume_cycle:
+            return
+        trace = self.trace
+        limit = self.crit_seq   # control flow known up to critical fetch
+        budget = self.fetch_width
+        decode = self.decode_latency
+        if self.cdf_cfg.non_critical_uop_cache:
+            # Design alternative (Sec. 3.3): decoded uops come from a
+            # dedicated cache, widening non-critical fetch and skipping
+            # the decoders.
+            budget *= self.cdf_cfg.non_critical_fetch_boost
+            decode = max(1, decode - 2)
+            self.counters.bump("nc_uop_cache_reads")
+        frontend_q = self.frontend_q
+        ready_at = cycle + decode + self._extra_stage
+        while budget and len(frontend_q) < self.frontend_cap \
+                and self.fetch_seq < limit:
+            uop = trace[self.fetch_seq]
+            self._touch_icache(cycle, uop.pc)
+            self.fetch_seq += 1
+            frontend_q.append((ready_at, uop))
+            self.counters.bump("fetch_uops")
+            budget -= 1
+            if uop.is_branch:
+                head = self.dbq.peek()
+                if head is None or head.seq != uop.seq:
+                    # Should not happen: every branch below crit_seq has a
+                    # DBQ entry. Fall back to predicting locally.
+                    self.counters.bump("dbq_mismatches")
+                    outcome = self.branch_unit.predict_and_train(uop)
+                    mispredicted = outcome.mispredicted
+                else:
+                    self.dbq.pop()
+                    self.counters.bump("dbq_pops")
+                    mispredicted = head.mispredicted
+                if mispredicted:
+                    self._block_fetch_on(uop.seq, cycle)
+                    break
+                if uop.taken:
+                    break
+
+    def _block_fetch_on(self, seq: int, cycle: int) -> None:
+        """Stall regular fetch until branch *seq* resolves (it may already
+        have, if the branch was critical and executed early)."""
+        entry = self.inflight.get(seq)
+        if entry is not None and not entry.flushed \
+                and entry.state != COMPLETE:
+            self.fetch_blocked_on = seq
+            return
+        if entry is not None:
+            resume = entry.complete_cycle + self.redirect_penalty
+        else:
+            resume = cycle + 1   # resolved and retired long ago
+        self.fetch_resume_cycle = max(self.fetch_resume_cycle, resume)
+
+    def _maybe_exit_cdf(self, cycle: int) -> None:
+        if not self.crit_stopped:
+            return
+        if self.fetch_seq < (self.crit_stop_seq or 0):
+            return
+        if self.crit_fetch_buffer:
+            return
+        self.cdf_mode = False
+        self.counters.bump("cdf_mode_exits")
+        if not self.dbq.empty:
+            self.counters.bump("dbq_leftover_entries", len(self.dbq))
+            self.dbq.clear()
+
+    def _on_complete(self, entry: RobEntry, cycle: int) -> None:
+        if entry.seq == self.crit_blocked_on:
+            self.crit_blocked_on = None
+            self.crit_resume_cycle = max(
+                self.crit_resume_cycle,
+                entry.complete_cycle + self.redirect_penalty)
+
+    # ============================================================== dispatch
+    def _dispatch(self, cycle: int) -> None:
+        if cycle < self._rename_stall_until:
+            return
+        budget = self.rename_width
+        self._dispatch_blocked = None
+        partitions = self.partitions
+
+        # Critical rename has priority (Sec. 3.5, Issue and Dispatch).
+        crit_blocked: Optional[str] = None
+        buffer = self.crit_fetch_buffer
+        while budget and buffer and buffer[0][0] <= cycle:
+            uop = buffer[0][1]
+            crit_blocked = self._critical_block_reason(uop)
+            if crit_blocked is not None:
+                break
+            buffer.popleft()
+            self._allocate_critical(uop, cycle)
+            budget -= 1
+
+        # Regular rename: non-critical uops allocate, critical uops replay.
+        frontend_q = self.frontend_q
+        while budget and frontend_q and frontend_q[0][0] <= cycle:
+            uop = frontend_q[0][1]
+            seq = uop.seq
+            if seq in self.critically_fetched:
+                head = self.cmq.peek()
+                if head is None or head.seq != seq:
+                    # Critical stream has not renamed this uop yet.
+                    self._dispatch_blocked = "cmq_wait"
+                    break
+                entry = self.inflight.get(seq)
+                if entry is not None and entry.poisoned:
+                    # Poison bit detected while replaying the rename: the
+                    # uop stays at the head of the frontend queue and is
+                    # re-dispatched as a regular uop after the flush.
+                    self._violation_flush(cycle, seq)
+                    return
+                frontend_q.popleft()
+                self.cmq.pop()
+                self.critically_fetched.discard(seq)
+                self.replay_frontier = seq + 1
+                budget -= 1
+                if self.event_log is not None:
+                    self.event_log.append((cycle, "p", seq))
+                self.counters.bump("replayed_uops")
+                continue
+            reason = self._allocation_block_reason(uop)
+            if reason is not None:
+                self._dispatch_blocked = reason
+                break
+            frontend_q.popleft()
+            self._allocate(uop, cycle)
+            self.replay_frontier = seq + 1
+            budget -= 1
+
+        # Stall accounting drives the dynamic partitioning. Only stalls
+        # observed while the machine is actually partitioned count: in
+        # regular mode every stall is trivially 'non-critical' and would
+        # bias the controller into shrinking the critical section the
+        # moment CDF mode begins.
+        partitioned = self.cdf_mode or bool(self.rob_crit)
+        if crit_blocked in ("rob", "lq", "sq"):
+            if partitioned:
+                getattr(partitions, crit_blocked).note_stall(critical=True)
+            self.counters.bump(f"crit_dispatch_stall_{crit_blocked}_cycles")
+        elif crit_blocked is not None:
+            self.counters.bump(f"crit_dispatch_stall_{crit_blocked}_cycles")
+        blocked = self._dispatch_blocked
+        if blocked in ("rob", "lq", "sq") and partitioned:
+            getattr(partitions, blocked).note_stall(critical=False)
+        if blocked is not None:
+            self._account_stall(cycle, blocked, 1)
+        if not self.cdf_cfg.dynamic_partitioning:
+            return
+        if self.cdf_mode:
+            if crit_blocked or blocked:
+                partitions.rebalance_all(
+                    rob_occupancy=len(self.rob_crit),
+                    lq_occupancy=self.lq_crit_used,
+                    sq_occupancy=self.sq_crit_used)
+        elif not self.rob_crit:
+            partitions.decay_all()
+
+    def _allocation_block_reason(self, uop: DynUop) -> Optional[str]:
+        partitions = self.partitions
+        if len(self.rob) >= partitions.rob.noncritical_size:
+            return "rob"
+        rs_noncrit = self.rs_size - (self.partitions.rs_critical_size
+                                     if (self.cdf_mode or self.rob_crit)
+                                     else 0)
+        if self.rs_used >= rs_noncrit:
+            return "rs"
+        if uop.is_load and self.lq_used >= partitions.lq.noncritical_size:
+            return "lq"
+        if uop.is_store and self.sq_used >= partitions.sq.noncritical_size:
+            return "sq"
+        if uop.writes_reg and self.writers_inflight >= \
+                self._noncrit_prf_limit():
+            return "prf"
+        return None
+
+    def _noncrit_prf_limit(self) -> int:
+        share = self.partitions.rob.critical_size \
+            if (self.cdf_mode or self.rob_crit) else 0
+        crit_share = self.prf_writers_limit * share \
+            // max(1, self.partitions.rob.total)
+        return max(8, self.prf_writers_limit - crit_share)
+
+    def _critical_block_reason(self, uop: DynUop) -> Optional[str]:
+        partitions = self.partitions
+        if self.replay_frontier < self.mode_entry_seq:
+            # The critical RAT is copied 'after the last regular mode
+            # instruction has been renamed' (Sec. 3.4): critical rename
+            # waits until the regular stream has renamed everything that
+            # was in flight when CDF mode began.
+            return "rat_copy"
+        if len(self.rob_crit) >= partitions.rob.critical_size:
+            return "rob"
+        if self.rs_crit_used >= partitions.rs_critical_size:
+            return "rs"
+        if uop.is_load and self.lq_crit_used >= partitions.lq.critical_size:
+            return "lq"
+        if uop.is_store and self.sq_crit_used >= partitions.sq.critical_size:
+            return "sq"
+        if uop.writes_reg and self.writers_crit >= \
+                max(8, self.prf_writers_limit - self._noncrit_prf_limit()):
+            return "prf"
+        if self.cmq.full:
+            return "cmq"
+        return None
+
+    def _allocate_critical(self, uop: DynUop, cycle: int) -> RobEntry:
+        entry = RobEntry(uop, critical=True)
+        if uop.seq in self._mispredicted_seqs:
+            entry.mispredicted = True
+            self._mispredicted_seqs.discard(uop.seq)
+        inflight = self.inflight
+        entry_seq = self.mode_entry_seq
+        session = self._crit_session_seqs
+        pending = 0
+        for dep in uop.src_deps:
+            if dep >= entry_seq and dep not in session:
+                # The producer was not marked critical (unseen control
+                # path in the mask), so its value is not in the critical
+                # RAT: the critical uop executes with a stale value — a
+                # register dependence violation (Sec. 3.6), detected by
+                # the poison bit when the rename is replayed.
+                entry.poisoned = True
+                self.counters.bump("poisoned_register_sources")
+                continue
+            producer = inflight.get(dep)
+            if producer is not None and not producer.flushed \
+                    and producer.state != COMPLETE:
+                producer.add_waiter(entry)
+                pending += 1
+        if uop.is_load and uop.store_dep >= 0:
+            store_dep = uop.store_dep
+            if store_dep >= entry_seq and store_dep not in session:
+                # Memory dependence violation: the forwarding store was
+                # not marked critical (Sec. 3.5, Memory Disambiguation).
+                entry.poisoned = True
+                self.counters.bump("poisoned_memory_sources")
+            else:
+                store = inflight.get(store_dep)
+                if store is not None and not store.flushed:
+                    entry.forwarded = True
+                    if store.state != COMPLETE:
+                        store.add_waiter(entry)
+                        pending += 1
+        entry.pending = pending
+        if pending == 0:
+            entry.state = READY
+            self._push_ready(entry)
+        if self.conservative_mem and uop.is_store:
+            bisect.insort(self._unissued_stores, uop.seq)
+        self.rob_crit.append(entry)
+        inflight[uop.seq] = entry
+        self.rs_crit_used += 1
+        self.lq_crit_used += uop.is_load
+        self.sq_crit_used += uop.is_store
+        if uop.writes_reg:
+            self.writers_crit += 1
+        self.cmq.push(CMQEntry(uop.seq, uop.dst))
+        self._crit_session_seqs.add(uop.seq)
+        if self.event_log is not None:
+            self.event_log.append((cycle, "d", uop.seq))
+        self.counters.bump("crit_rename_uops")
+        self.counters.bump("rob_writes")
+        return entry
+
+    # -------------------------------------------------------------- flush
+    def _violation_flush(self, cycle: int, seq: int) -> None:
+        """Dependence violation detected at replay of *seq*: flush all
+        critical uops at/after it and fall back to regular execution."""
+        self.counters.bump("dependence_violations")
+        rob_crit = self.rob_crit
+        flushed = 0
+        while rob_crit and rob_crit[-1].seq >= seq:
+            entry = rob_crit.pop()
+            entry.flushed = True
+            del self.inflight[entry.seq]
+            if entry.state in (WAITING, READY):   # RS entry still held
+                self.rs_crit_used -= 1
+            self.lq_crit_used -= entry.uop.is_load
+            self.sq_crit_used -= entry.uop.is_store
+            if entry.uop.writes_reg:
+                self.writers_crit -= 1
+            self.critically_fetched.discard(entry.seq)
+            if self.conservative_mem and entry.uop.is_store \
+                    and entry.state in (WAITING, READY):
+                self._unissued_stores.remove(entry.seq)
+            flushed += 1
+        self.counters.bump("violation_flushed_uops", flushed)
+        self.cmq.flush_younger_than(seq)
+        # Critical fetch ends; remaining non-critical uops drain, then the
+        # frontend exits CDF mode (the DBQ entries it produced are for
+        # correct-path branches and stay valid).
+        self._stop_critical_fetch()
+        for leftover in list(self.critically_fetched):
+            if leftover >= seq:
+                self.critically_fetched.discard(leftover)
+        self.crit_fetch_buffer = deque(
+            (ready, uop) for ready, uop in self.crit_fetch_buffer
+            if uop.seq < seq)
+        self._rename_stall_until = cycle + self.cdf_cfg.violation_flush_penalty
+
+    # -------------------------------------------------------------- issue
+    def _complete_at(self, entry: RobEntry, cycle: int,
+                     completion: int) -> None:
+        if entry.critical:
+            # Undo the baseline's shared-RS decrement and apply it to the
+            # critical share instead.
+            self.rs_crit_used -= 1
+            self.rs_used += 1
+        super()._complete_at(entry, cycle, completion)
+
+    # -------------------------------------------------------------- advance
+    def _advance(self, cycle: int) -> int:
+        if self.cdf_mode or self.crit_fetch_buffer or self.rob_crit:
+            # Per-cycle bookkeeping (partition stall counters, dual-stream
+            # scheduling) matters while CDF structures are live; take the
+            # accurate path and advance one cycle at a time.
+            return cycle + 1
+        return super()._advance(cycle)

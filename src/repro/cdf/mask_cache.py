@@ -1,0 +1,96 @@
+"""The Mask Cache (Sec. 3.2).
+
+Per basic block, a bit mask with a 1 for every uop position that has
+been marked critical on *any* previously observed control-flow path.
+(Hardware stores 64-bit masks, with blocks longer than 64 uops using
+multiple entries; we keep one arbitrary-width mask per block and charge
+capacity accordingly.) The
+fill unit ORs each walk's fresh marks into the stored mask, so the set of
+critical uops for a block accumulates across paths — the mechanism that
+makes register dependence violations rare. Masks are periodically reset
+(every 200k instructions) to drop stale paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class _MaskEntry:
+    __slots__ = ("bb_start", "mask", "lru")
+
+    def __init__(self) -> None:
+        self.bb_start = -1
+        self.mask = 0
+        self.lru = 0
+
+
+class MaskCache:
+    """Set-associative bb_start -> 64-bit critical mask store."""
+
+    def __init__(self, entries: int = 512, ways: int = 4) -> None:
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.num_sets = entries // ways
+        self.ways = ways
+        self._sets = [[_MaskEntry() for _ in range(ways)]
+                      for _ in range(self.num_sets)]
+        self._clock = 0
+        self.resets = 0
+        self.evictions = 0
+
+    def _find(self, bb_start: int) -> Optional[_MaskEntry]:
+        for entry in self._sets[bb_start % self.num_sets]:
+            if entry.bb_start == bb_start:
+                return entry
+        return None
+
+    def lookup(self, bb_start: int) -> Optional[int]:
+        """Return the accumulated mask for a block, or None."""
+        self._clock += 1
+        entry = self._find(bb_start)
+        if entry is None:
+            return None
+        entry.lru = self._clock
+        return entry.mask
+
+    def accumulate(self, bb_start: int, mask: int) -> int:
+        """OR *mask* into the stored mask; returns the merged mask."""
+        self._clock += 1
+        entry = self._find(bb_start)
+        if entry is None:
+            bucket = self._sets[bb_start % self.num_sets]
+            entry = min(bucket, key=lambda e: (e.bb_start != -1, e.lru))
+            if entry.bb_start != -1:
+                self.evictions += 1
+            entry.bb_start = bb_start
+            entry.mask = 0
+        entry.lru = self._clock
+        entry.mask |= mask
+        return entry.mask
+
+    def remove(self, bb_start: int) -> bool:
+        """Drop a block (density-gate rejection); returns found."""
+        entry = self._find(bb_start)
+        if entry is None:
+            return False
+        entry.bb_start = -1
+        entry.mask = 0
+        return True
+
+    def reset(self) -> None:
+        """Periodic full reset (every 200k retired instructions)."""
+        self.resets += 1
+        for bucket in self._sets:
+            for entry in bucket:
+                entry.bb_start = -1
+                entry.mask = 0
+
+    def snapshot_masks(self) -> Dict[int, int]:
+        """All valid (bb_start -> mask) pairs; feeds the fill-buffer walk."""
+        result: Dict[int, int] = {}
+        for bucket in self._sets:
+            for entry in bucket:
+                if entry.bb_start != -1:
+                    result[entry.bb_start] = entry.mask
+        return result

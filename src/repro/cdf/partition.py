@@ -1,0 +1,141 @@
+"""Dynamic partitioning of window resources (Sec. 3.5).
+
+Each partitioned structure (ROB, LQ, SQ) is split into a critical and a
+non-critical section. Counters track full-window-stall cycles caused by
+each section; when one section's stalls exceed the other's by the
+threshold (4 cycles), its share grows by the configured step (8 entries
+for ROB/RS, 2 for LQ/SQ). The RS and PRF critical shares follow the ROB
+partition, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..config import CDFConfig
+
+
+class PartitionedResource:
+    """One structure's critical/non-critical split."""
+
+    def __init__(self, name: str, total: int, critical_size: int,
+                 step: int, min_critical: int, min_noncritical: int) -> None:
+        if critical_size + min_noncritical > total:
+            critical_size = total - min_noncritical
+        self.name = name
+        self.total = total
+        self.step = step
+        self.min_critical = min_critical
+        self.min_noncritical = min_noncritical
+        self.critical_size = max(min_critical, critical_size)
+        self.critical_stall_cycles = 0
+        self.noncritical_stall_cycles = 0
+        self.grows = 0
+        self.shrinks = 0
+
+    @property
+    def noncritical_size(self) -> int:
+        return self.total - self.critical_size
+
+    def note_stall(self, critical: bool, weight: int = 1) -> None:
+        if critical:
+            self.critical_stall_cycles += weight
+        else:
+            self.noncritical_stall_cycles += weight
+
+    def rebalance(self, threshold: int,
+                  critical_occupancy: int = None) -> int:
+        """Apply one partition adjustment if the stall imbalance exceeds
+        *threshold*; returns the signed change to the critical size.
+
+        When *critical_occupancy* is given, a well-utilised critical
+        section (>= 3/4 full) is never shrunk: non-critical pressure
+        while the critical stream is also using its space must not steal
+        the parallelism CDF exists to extract (Sec. 3.5's goal of
+        'maximizing the amount of parallelism that can be extracted from
+        critical instructions').
+        """
+        diff = self.critical_stall_cycles - self.noncritical_stall_cycles
+        change = 0
+        if diff >= threshold:
+            new_size = min(self.total - self.min_noncritical,
+                           self.critical_size + self.step)
+            change = new_size - self.critical_size
+            if change:
+                self.grows += 1
+        elif diff <= -threshold:
+            if critical_occupancy is not None \
+                    and critical_occupancy * 4 >= self.critical_size * 3:
+                # Utilisation guard: reset the counters, keep the split.
+                self.critical_stall_cycles = 0
+                self.noncritical_stall_cycles = 0
+                return 0
+            new_size = max(self.min_critical, self.critical_size - self.step)
+            change = new_size - self.critical_size
+            if change:
+                self.shrinks += 1
+        if change:
+            self.critical_size += change
+            self.critical_stall_cycles = 0
+            self.noncritical_stall_cycles = 0
+        return change
+
+    def decay_toward_noncritical(self, floor: int = 0) -> None:
+        """Gradually release the critical section after CDF mode exits.
+
+        Out of CDF mode the critical section can shrink all the way to
+        zero ('benchmarks that do not do well in CDF mode default to
+        regular execution'), so *floor* defaults to 0.
+        """
+        if self.critical_size > floor:
+            self.critical_size = max(floor, self.critical_size - self.step)
+
+    def ensure_minimum(self, size: int) -> None:
+        """Grow the critical section to at least *size* (CDF mode entry)."""
+        self.critical_size = max(self.critical_size,
+                                 min(size, self.total - self.min_noncritical))
+
+
+class PartitionController:
+    """Coordinates the partitioned structures for one CDF pipeline."""
+
+    def __init__(self, config: CDFConfig, rob_size: int,
+                 lq_size: int, sq_size: int, rs_size: int) -> None:
+        self.config = config
+        initial_rob = int(rob_size * config.initial_critical_rob_fraction)
+        self.rob = PartitionedResource(
+            "rob", rob_size, initial_rob, config.rob_partition_step,
+            min_critical=config.rob_partition_step,
+            min_noncritical=config.min_noncrit_rob)
+        self.lq = PartitionedResource(
+            "lq", lq_size, lq_size // 2, config.lsq_partition_step,
+            min_critical=config.lsq_partition_step,
+            min_noncritical=max(4, lq_size // 8))
+        self.sq = PartitionedResource(
+            "sq", sq_size, sq_size // 2, config.lsq_partition_step,
+            min_critical=config.lsq_partition_step,
+            min_noncritical=max(4, sq_size // 8))
+        self._rs_size = rs_size
+
+    @property
+    def rs_critical_size(self) -> int:
+        """RS critical share scales with the ROB partition (Sec. 3.5)."""
+        return max(4, self._rs_size * self.rob.critical_size
+                   // max(1, self.rob.total))
+
+    def rebalance_all(self, rob_occupancy: int = None,
+                      lq_occupancy: int = None,
+                      sq_occupancy: int = None) -> None:
+        threshold = self.config.stall_cycle_threshold
+        self.rob.rebalance(threshold, rob_occupancy)
+        self.lq.rebalance(threshold, lq_occupancy)
+        self.sq.rebalance(threshold, sq_occupancy)
+
+    def decay_all(self) -> None:
+        for resource in (self.rob, self.lq, self.sq):
+            resource.decay_toward_noncritical()
+
+    def on_mode_entry(self) -> None:
+        """Make sure each critical section has a workable minimum size."""
+        self.rob.ensure_minimum(
+            int(self.rob.total * self.config.initial_critical_rob_fraction))
+        self.lq.ensure_minimum(self.lq.total // 2)
+        self.sq.ensure_minimum(self.sq.total // 2)

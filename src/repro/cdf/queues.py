@@ -1,0 +1,104 @@
+"""CDF FIFOs: the Delayed Branch Queue and the Critical Map Queue.
+
+* The **Delayed Branch Queue** (256 entries) carries the directions and
+  targets of every branch the critical fetch engine predicted, so the
+  non-critical stream replays the exact same control-flow path without
+  touching the predictors again (Sec. 3.3).
+* The **Critical Map Queue** (256 entries) carries the destination
+  physical registers the critical rename stage allocated, so the regular
+  RAT can be updated in program order when the non-critical stream
+  replays critical uops (Sec. 3.4).
+
+Both are program-order FIFOs, which makes partial flushes on
+mispredictions/violations trivial (Sec. 3.6): drop every entry younger
+than the flush point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple, Optional
+
+
+class DBQEntry(NamedTuple):
+    """One predicted branch recorded for the non-critical stream."""
+
+    seq: int
+    predicted_taken: bool
+    mispredicted: bool
+    is_critical: bool
+
+
+class CMQEntry(NamedTuple):
+    """One critical uop's rename record awaiting replay."""
+
+    seq: int
+    dst: Optional[int]
+
+
+class _BoundedFifo:
+    """Shared bounded-FIFO behaviour with program-order flush."""
+
+    def __init__(self, capacity: int, name: str) -> None:
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._q: deque = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.flushed_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def push(self, entry) -> None:
+        if self.full:
+            raise RuntimeError(f"{self.name} overflow")
+        self._q.append(entry)
+        self.pushes += 1
+
+    def peek(self):
+        return self._q[0] if self._q else None
+
+    def pop(self):
+        if not self._q:
+            raise RuntimeError(f"{self.name} underflow")
+        self.pops += 1
+        return self._q.popleft()
+
+    def flush_younger_than(self, seq: int) -> int:
+        """Drop entries with entry.seq >= seq (program-order flush)."""
+        q = self._q
+        dropped = 0
+        while q and q[-1].seq >= seq:
+            q.pop()
+            dropped += 1
+        self.flushed_entries += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self.flushed_entries += len(self._q)
+        self._q.clear()
+
+
+class DelayedBranchQueue(_BoundedFifo):
+    """FIFO of :class:`DBQEntry` (capacity 256 per Table 1)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, "DelayedBranchQueue")
+
+
+class CriticalMapQueue(_BoundedFifo):
+    """FIFO of :class:`CMQEntry` (capacity 256 per Table 1)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, "CriticalMapQueue")

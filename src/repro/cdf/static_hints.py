@@ -1,0 +1,141 @@
+"""Compiler-assisted CDF: statically generated chain hints.
+
+The paper's future work (Sec. 6): 'While compilers cannot identify
+critical instructions and find the optimal level of loop unrolling
+statically, they can be used to augment CDF by statically generating a
+set of possible chains that CDF can then choose to fetch and execute at
+runtime. This can help reduce the hardware overhead and complexity of
+CDF significantly.'
+
+This module implements that flow as a profile-guided 'compiler pass':
+
+1. :func:`profile_chains` runs a short profiling execution on the
+   baseline core, observes which loads missed the LLC and which branches
+   mispredicted, and slices their backward dependence chains over the
+   dynamic trace — the software analogue of the Fill Buffer walk.
+2. The result is a :class:`StaticChainHints` artifact (per-basic-block
+   critical masks) that can be saved to / loaded from a JSON file, like
+   a compiler would emit alongside the binary.
+3. :func:`preload_hints` installs the hinted traces into a CDF pipeline's
+   Critical Uop Cache and Mask Cache *before* simulation starts, letting
+   CDF mode engage without waiting for the first 10k-instruction
+   hardware training interval. The hardware CCT/Fill Buffer then refine
+   the hints at runtime exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SimConfig
+from ..core.pipeline import BaselinePipeline
+from ..isa.dynuop import DynUop
+from ..isa.program import Program
+from ..stats import mark_critical_chains
+
+
+@dataclass
+class StaticChainHints:
+    """Per-basic-block critical-uop masks, as a compiler would emit."""
+
+    bb_masks: Dict[int, int] = field(default_factory=dict)
+    bb_ends_in_branch: Dict[int, bool] = field(default_factory=dict)
+    #: Fraction of profiled uops marked critical (compiler diagnostics).
+    critical_fraction: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.bb_masks)
+
+    # -- artifact I/O -----------------------------------------------------
+    def save(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "critical_fraction": self.critical_fraction,
+            "blocks": [
+                {
+                    "bb_start": bb,
+                    "mask": format(mask, "x"),
+                    "ends_in_branch": self.bb_ends_in_branch.get(bb, False),
+                }
+                for bb, mask in sorted(self.bb_masks.items())
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "StaticChainHints":
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("version") != 1:
+            raise ValueError(f"{path}: unsupported hint file version")
+        hints = cls(critical_fraction=payload.get("critical_fraction", 0.0))
+        for block in payload["blocks"]:
+            bb = int(block["bb_start"])
+            hints.bb_masks[bb] = int(block["mask"], 16)
+            if block["ends_in_branch"]:
+                hints.bb_ends_in_branch[bb] = True
+        return hints
+
+
+def profile_chains(program: Program, trace: Sequence[DynUop],
+                   profile_uops: Optional[int] = None,
+                   config: Optional[SimConfig] = None,
+                   include_branches: bool = True) -> StaticChainHints:
+    """Profile-guided chain generation (the 'compiler pass').
+
+    Runs the baseline core over a prefix of the trace, collects the
+    observed critical roots, slices their chains over the true dataflow,
+    and folds the marks into per-basic-block masks.
+    """
+    profile_trace = list(trace[:profile_uops]) if profile_uops else trace
+    pipeline = BaselinePipeline(profile_trace,
+                                config or SimConfig.baseline(),
+                                benchmark="profile")
+    pipeline.run()
+    roots: List[int] = list(pipeline.llc_miss_load_seqs)
+    if include_branches:
+        roots.extend(pipeline.mispredicted_branch_seqs)
+    critical = mark_critical_chains(profile_trace, roots)
+
+    hints = StaticChainHints()
+    marked = 0
+    for uop in profile_trace:
+        bb = program.basic_block_start(uop.pc)
+        hints.bb_masks.setdefault(bb, 0)
+        if uop.seq in critical:
+            hints.bb_masks[bb] |= 1 << (uop.pc - bb)
+            marked += 1
+        if uop.is_branch:
+            hints.bb_ends_in_branch[bb] = True
+    hints.critical_fraction = marked / len(profile_trace) \
+        if profile_trace else 0.0
+    return hints
+
+
+def preload_hints(pipeline, hints: StaticChainHints,
+                  respect_density_gates: bool = True) -> int:
+    """Install *hints* into a CDF pipeline before it runs.
+
+    Returns the number of basic blocks installed. The pipeline's own
+    density gates still apply (a compiler emitting everything-critical
+    would be as useless to CDF as hardware overmarking); pass
+    ``respect_density_gates=False`` to force installation.
+    """
+    cdf = pipeline.cdf_cfg
+    if respect_density_gates and (
+            hints.critical_fraction < cdf.min_critical_fraction
+            or hints.critical_fraction > cdf.max_critical_fraction):
+        pipeline.counters.bump("static_hints_rejected")
+        return 0
+    installed = 0
+    for bb, mask in hints.bb_masks.items():
+        merged = pipeline.mask_cache.accumulate(bb, mask)
+        pipeline.uop_cache.fill(
+            bb, merged, hints.bb_ends_in_branch.get(bb, False),
+            valid_from=0)
+        installed += 1
+    pipeline.counters.bump("static_hint_blocks", installed)
+    return installed

@@ -1,0 +1,218 @@
+"""Command-line interface: run benchmarks and regenerate paper figures.
+
+Installed as ``repro-sim`` (or ``python -m repro``):
+
+    repro-sim list
+    repro-sim run astar --mode cdf --scale 0.5
+    repro-sim compare astar mcf --scale 0.5
+    repro-sim figure fig13 --scale 0.6
+    repro-sim disasm bzip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import SimConfig
+from .harness import (
+    ablation_critical_branches,
+    build_report,
+    ablation_partitioning,
+    ablation_thresholds,
+    config_for_mode,
+    fig01_rob_distribution,
+    fig13_speedup,
+    fig14_mlp,
+    fig15_traffic,
+    fig16_energy,
+    fig17_scaling,
+    format_ablation_branches,
+    format_ablation_partitioning,
+    format_ablation_thresholds,
+    format_fig01,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_fig16,
+    format_fig17,
+    load_workload,
+    run_benchmark,
+    table1_text,
+)
+from .harness.tables import render_table
+from .workloads import DEFAULT_SEED, SUITE, suite_names
+
+#: figure name -> (driver, formatter, needs_scale)
+FIGURES = {
+    "table1": (lambda **kw: table1_text(), lambda text: text),
+    "fig1": (fig01_rob_distribution, format_fig01),
+    "fig13": (fig13_speedup, format_fig13),
+    "fig14": (fig14_mlp, format_fig14),
+    "fig15": (fig15_traffic, format_fig15),
+    "fig16": (fig16_energy, format_fig16),
+    "fig17": (fig17_scaling, format_fig17),
+    "ablation-branches": (ablation_critical_branches,
+                          format_ablation_branches),
+    "ablation-partitioning": (
+        lambda **kw: ablation_partitioning(
+            names=("astar", "milc", "bzip", "nab", "mcf", "lbm"), **kw),
+        format_ablation_partitioning),
+    "ablation-thresholds": (
+        lambda **kw: ablation_thresholds(
+            names=("astar", "milc", "nab", "bzip", "soplex", "lbm"), **kw),
+        format_ablation_thresholds),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Criticality Driven Fetch (MICRO 2021) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run = sub.add_parser("run", help="run one benchmark under one core")
+    run.add_argument("benchmark", choices=suite_names())
+    run.add_argument("--mode", choices=("baseline", "cdf", "pre"),
+                     default="cdf")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run.add_argument("--rob", type=int, default=None,
+                     help="override ROB size (scales RS/LQ/SQ with it)")
+    run.add_argument("--no-prefetch", action="store_true")
+    run.add_argument("--counters", action="store_true",
+                     help="dump all event counters")
+
+    compare = sub.add_parser("compare",
+                             help="run benchmarks under all three cores")
+    compare.add_argument("benchmarks", nargs="+", choices=suite_names())
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", type=float, default=0.5)
+
+    disasm = sub.add_parser("disasm", help="print a kernel's assembly")
+    disasm.add_argument("benchmark", choices=suite_names())
+
+    report = sub.add_parser(
+        "report", help="regenerate the full evaluation as Markdown")
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="limit to figure keys (fig13, fig17, ...)")
+
+    return parser
+
+
+def _make_config(args) -> SimConfig:
+    config = config_for_mode(args.mode)
+    if args.rob is not None:
+        config.core = config.core.scaled(args.rob)
+    if args.no_prefetch:
+        config.prefetcher.enabled = False
+    return config
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name in suite_names():
+        workload = SUITE[name](scale=0.02)
+        rows.append((name, workload.description))
+    print(render_table("benchmark suite (memory-intensive SPEC-like "
+                       "kernels)", ("name", "behaviour"), rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _make_config(args)
+    result = run_benchmark(args.benchmark, args.mode, scale=args.scale,
+                           seed=args.seed, config=config)
+    print(result.summary())
+    print(f"  energy: {result.energy_nj / 1000:.1f} uJ   "
+          f"stall cycles: {result.full_window_stall_cycles}")
+    if args.mode == "cdf":
+        counters = result.counters
+        print(f"  cdf: {counters['cdf_mode_entries']} entries, "
+              f"{counters['cdf_mode_cycles']} mode cycles, "
+              f"{counters['crit_fetch_uops']} critical fetches, "
+              f"{counters['dependence_violations']} violations")
+    if args.mode == "pre":
+        counters = result.counters
+        print(f"  pre: {counters['runahead_intervals']} intervals, "
+              f"{counters['runahead_prefetches']} prefetches, "
+              f"{counters['runahead_wrong_address']} wrong addresses")
+    if args.counters:
+        for key in sorted(result.counters):
+            print(f"  {key:44s} {result.counters[key]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    for name in args.benchmarks:
+        results = {mode: run_benchmark(name, mode, scale=args.scale,
+                                       seed=args.seed)
+                   for mode in ("baseline", "cdf", "pre")}
+        base = results["baseline"]
+        rows = [(mode, f"{r.ipc:.3f}", f"{r.speedup_over(base):.3f}x",
+                 f"{r.mlp:.2f}", r.total_traffic,
+                 f"{r.energy_nj / 1000:.1f} uJ")
+                for mode, r in results.items()]
+        print(render_table(name, ("core", "IPC", "speedup", "MLP",
+                                  "DRAM xfers", "energy"), rows))
+        print()
+    return 0
+
+
+def cmd_figure(args) -> int:
+    driver, formatter = FIGURES[args.name]
+    if args.name == "table1":
+        print(formatter(driver()))
+        return 0
+    data = driver(scale=args.scale)
+    print(formatter(data))
+    return 0
+
+
+def cmd_report(args) -> int:
+    def progress(title):
+        print(f"... {title}", file=sys.stderr)
+
+    text = build_report(scale=args.scale, only=args.only,
+                        progress=progress)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    workload = load_workload(args.benchmark, 0.02)
+    print(f"; {workload.name}: {workload.description}")
+    print(workload.program.disassemble())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "figure": cmd_figure,
+        "disasm": cmd_disasm,
+        "report": cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

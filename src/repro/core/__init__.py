@@ -1,0 +1,14 @@
+"""Out-of-order core timing models."""
+
+from .pipeline import BaselinePipeline, UOPS_PER_ICACHE_LINE
+from .rob import COMPLETE, ISSUED, READY, WAITING, RobEntry
+
+__all__ = [
+    "BaselinePipeline",
+    "UOPS_PER_ICACHE_LINE",
+    "RobEntry",
+    "WAITING",
+    "READY",
+    "ISSUED",
+    "COMPLETE",
+]

@@ -1,0 +1,562 @@
+"""Cycle-level baseline out-of-order pipeline.
+
+Trace-driven replay of the functional uop stream under the structural
+constraints of Table 1: fetch (branch predictor / BTB / RAS, taken-branch
+fetch breaks, misprediction fetch gating), a decode pipeline, rename with
+PRF accounting, ROB / RS / LQ / SQ occupancy, wakeup-select issue with load
+and store ports, memory access through the cache hierarchy + stream
+prefetcher + DRAM, store-to-load forwarding, and in-order retirement.
+
+The stage methods are deliberately small and overridable: the CDF and PRE
+pipelines subclass this model and replace/extend fetch, dispatch, and
+retire behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SimConfig
+from ..frontend import BranchUnit
+from ..isa.dynuop import DynUop
+from ..memory import MemoryHierarchy
+from ..stats import Counters, MLPTracker, RobStallProfiler, SimResult
+from .rob import COMPLETE, ISSUED, READY, WAITING, RobEntry
+
+#: Instructions per 64B I-cache line (4-byte encoding).
+UOPS_PER_ICACHE_LINE = 16
+
+
+class BaselinePipeline:
+    """The paper's baseline: aggressive OoO core with stream prefetching."""
+
+    def __init__(self, trace: Sequence[DynUop], config: SimConfig,
+                 benchmark: str = "bench",
+                 profile_rob_stalls: bool = False) -> None:
+        self.trace = trace
+        self.config = config
+        self.benchmark = benchmark
+        core = config.core
+        self.fetch_width = core.fetch_width
+        self.rename_width = core.rename_width
+        self.issue_width = core.issue_width
+        self.retire_width = core.retire_width
+        self.decode_latency = core.decode_latency
+        self.redirect_penalty = core.mispredict_redirect_penalty
+        self.rob_size = core.rob_size
+        self.rs_size = core.rs_size
+        self.lq_size = core.lq_size
+        self.sq_size = core.sq_size
+        self.prf_writers_limit = max(8, core.num_phys_regs - 32)
+        self.load_ports = core.num_load_ports
+        self.store_ports = core.num_store_ports
+        self.alu_ports = core.num_alu_ports
+        self.fp_ports = core.num_fp_ports
+        self.muldiv_ports = core.num_muldiv_ports
+        self.conservative_mem = core.memory_disambiguation == "conservative"
+        if core.memory_disambiguation not in ("oracle", "conservative"):
+            raise ValueError(
+                f"unknown memory_disambiguation: "
+                f"{core.memory_disambiguation!r}")
+
+        self.mlp_tracker = MLPTracker()
+        self.mem = MemoryHierarchy(config, mlp_tracker=self.mlp_tracker)
+        self.branch_unit = BranchUnit()
+        self.counters = Counters()
+        self.profiler: Optional[RobStallProfiler] = (
+            RobStallProfiler(len(trace)) if profile_rob_stalls else None)
+        #: Optional per-uop event log for the timeline viewer: when set to
+        #: a list, stages append (cycle, event_char, seq) tuples. Events:
+        #: F fetch, D dispatch, I issue, C complete, R retire (CDF adds
+        #: f/d critical fetch/dispatch and p rename replay).
+        self.event_log: Optional[list] = None
+
+        # Frontend state.
+        self.fetch_seq = 0
+        self.fetch_resume_cycle = 0
+        self.fetch_blocked_on: Optional[int] = None
+        self.frontend_q: deque = deque()
+        self.frontend_cap = self.fetch_width * (self.decode_latency + 2)
+        self._mispredicted_seqs = set()
+        self._last_ifetch_line = -1
+
+        # Backend state.
+        self.rob: deque = deque()
+        self.inflight: Dict[int, RobEntry] = {}
+        self.ready_q: List = []          # heap of (seq, tiebreak, entry)
+        self.retry_loads: List[RobEntry] = []
+        self.events: List = []           # heap of (cycle, tiebreak, entry)
+        self._tiebreak = 0
+        self.rs_used = 0
+        self.lq_used = 0
+        self.sq_used = 0
+        self.writers_inflight = 0
+        # Sorted seqs of dispatched-but-unissued stores (conservative
+        # memory disambiguation holds loads behind these).
+        self._unissued_stores: List[int] = []
+
+        self.cycle = 0
+        self.retired = 0
+        self._dispatch_blocked: Optional[str] = None
+        self._retired_this_cycle = 0
+
+        # Records for post-hoc analysis (Fig. 1): which loads missed the
+        # LLC and which branches were mispredicted.
+        self.llc_miss_load_seqs: List[int] = []
+        self.mispredicted_branch_seqs: List[int] = []
+
+    # ------------------------------------------------------------------ hooks
+    def _is_critical(self, uop: DynUop) -> bool:
+        """Criticality marking hook; the baseline marks nothing."""
+        return False
+
+    def _on_dispatch(self, entry: RobEntry, cycle: int) -> None:
+        """Subclass hook after an entry is allocated."""
+
+    def _on_retire(self, entry: RobEntry, cycle: int) -> None:
+        """Subclass hook after an entry retires."""
+
+    def _on_stall_cycles(self, cycle: int, reason: str, weight: int) -> None:
+        """Subclass hook for dispatch-stall accounting."""
+
+    def _note_branch_outcome(self, uop: DynUop, outcome) -> None:
+        """Subclass hook: a branch was predicted at fetch time."""
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimResult:
+        total = len(self.trace)
+        warmup = self.config.stats_warmup_uops
+        warm_snap = None
+        cycle = 0
+        while self.retired < total:
+            if cycle >= self.config.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={self.config.max_cycles}")
+            self._retired_this_cycle = 0
+            self._writeback(cycle)
+            self._retire(cycle)
+            self._issue(cycle)
+            self._dispatch(cycle)
+            self._fetch(cycle)
+            if warm_snap is None and warmup and self.retired >= warmup:
+                warm_snap = self._snapshot(cycle)
+            cycle = self._advance(cycle)
+        self.cycle = cycle
+        return self._build_result(cycle, warm_snap)
+
+    # ------------------------------------------------------------------ stages
+    def _writeback(self, cycle: int) -> None:
+        events = self.events
+        while events and events[0][0] <= cycle:
+            _, _, entry = heapq.heappop(events)
+            if entry.flushed:
+                continue
+            entry.state = COMPLETE
+            if self.event_log is not None:
+                self.event_log.append((entry.complete_cycle, "C",
+                                       entry.seq))
+            self.counters.bump("wakeup_broadcasts")
+            waiters = entry.waiters
+            if waiters:
+                for waiter in waiters:
+                    waiter.pending -= 1
+                    if (waiter.pending == 0 and waiter.state == WAITING
+                            and not waiter.flushed):
+                        waiter.state = READY
+                        self._push_ready(waiter)
+                entry.waiters = None
+            if entry.seq == self.fetch_blocked_on:
+                self.fetch_blocked_on = None
+                self.fetch_resume_cycle = max(
+                    self.fetch_resume_cycle,
+                    entry.complete_cycle + self.redirect_penalty)
+            self._on_complete(entry, cycle)
+
+    def _on_complete(self, entry: RobEntry, cycle: int) -> None:
+        """Subclass hook at writeback (CDF unblocks critical fetch here)."""
+
+    def _push_ready(self, entry: RobEntry) -> None:
+        self._tiebreak += 1
+        heapq.heappush(self.ready_q, (entry.seq, self._tiebreak, entry))
+
+    def _retire(self, cycle: int) -> None:
+        rob = self.rob
+        budget = self.retire_width
+        while budget and rob:
+            entry = rob[0]
+            if entry.state != COMPLETE or entry.complete_cycle > cycle:
+                break
+            rob.popleft()
+            del self.inflight[entry.seq]
+            uop = entry.uop
+            if uop.is_load:
+                self.lq_used -= 1
+            elif uop.is_store:
+                self.sq_used -= 1
+                self.mem.store_commit(cycle, uop.mem_addr)
+            if uop.writes_reg:
+                self.writers_inflight -= 1
+            self.retired += 1
+            self._retired_this_cycle += 1
+            budget -= 1
+            self.counters.bump("rob_reads")
+            if self.event_log is not None:
+                self.event_log.append((cycle, "R", entry.seq))
+            self._on_retire(entry, cycle)
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.issue_width
+        loads_left = self.load_ports
+        stores_left = self.store_ports
+        ports_left = {"alu": self.alu_ports, "fp": self.fp_ports,
+                      "muldiv": self.muldiv_ports}
+
+        # MSHR-full rejections are retried oldest-first. A couple of failed
+        # probes per cycle is enough to learn the MSHRs are still full;
+        # further attempts this cycle are pointless bus/port churn.
+        failed_probes = 0
+        if self.retry_loads:
+            still_waiting = []
+            for position, entry in enumerate(self.retry_loads):
+                if entry.flushed:
+                    continue
+                if budget == 0 or loads_left == 0 or failed_probes >= 2:
+                    still_waiting.extend(self.retry_loads[position:])
+                    break
+                if self._issue_load(entry, cycle):
+                    budget -= 1
+                    loads_left -= 1
+                else:
+                    failed_probes += 1
+                    still_waiting.append(entry)
+            self.retry_loads = still_waiting
+
+        deferred = []
+        ready_q = self.ready_q
+        while ready_q and budget:
+            item = heapq.heappop(ready_q)
+            entry = item[2]
+            if entry.state != READY or entry.flushed:
+                continue
+            uop = entry.uop
+            if uop.is_load:
+                if self.conservative_mem and self._unissued_stores \
+                        and self._unissued_stores[0] < entry.seq:
+                    # An older store has not computed its address yet.
+                    deferred.append(item)
+                    self.counters.bump("loads_held_by_stores")
+                    continue
+                if loads_left == 0:
+                    deferred.append(item)
+                    continue
+                if failed_probes >= 2 and not entry.forwarded:
+                    self.retry_loads.append(entry)
+                    continue
+                if self._issue_load(entry, cycle):
+                    loads_left -= 1
+                    budget -= 1
+                else:
+                    failed_probes += 1
+                    self.retry_loads.append(entry)
+                    budget -= 1    # the slot was consumed by the attempt
+                continue
+            if uop.is_store:
+                if stores_left == 0:
+                    deferred.append(item)
+                    continue
+                stores_left -= 1
+            else:
+                unit = uop.exec_class
+                if ports_left[unit] == 0:
+                    deferred.append(item)
+                    continue
+                ports_left[unit] -= 1
+            self._complete_at(entry, cycle, cycle + uop.exec_lat)
+            budget -= 1
+        for item in deferred:
+            heapq.heappush(ready_q, item)
+
+    def _issue_load(self, entry: RobEntry, cycle: int) -> bool:
+        """Issue one load to the memory system; False if MSHRs rejected it."""
+        uop = entry.uop
+        self.counters.bump("sq_searches")
+        if entry.forwarded:
+            completion = cycle + self.config.l1d.latency
+            self.counters.bump("store_forwards")
+            self._complete_at(entry, cycle, completion)
+            return True
+        result = self.mem.load(cycle, uop.mem_addr,
+                               source=self._load_source(entry))
+        if result is None:
+            return False
+        if result.llc_miss:
+            entry.llc_miss = True
+            self.llc_miss_load_seqs.append(entry.seq)
+            self.counters.bump("llc_miss_loads")
+        self._complete_at(entry, cycle, result.completion)
+        return True
+
+    def _load_source(self, entry: RobEntry) -> str:
+        return "demand"
+
+    def _complete_at(self, entry: RobEntry, cycle: int, completion: int) -> None:
+        entry.state = ISSUED
+        entry.issue_cycle = cycle
+        entry.complete_cycle = max(completion, cycle + 1)
+        self.rs_used -= 1
+        uop = entry.uop
+        self.counters.bump("prf_reads", len(uop.srcs))
+        if uop.writes_reg:
+            self.counters.bump("prf_writes")
+        if uop.is_store:
+            self.counters.bump("lq_searches")
+            if self.conservative_mem:
+                self._unissued_stores.remove(entry.seq)
+        self._tiebreak += 1
+        if self.event_log is not None:
+            self.event_log.append((cycle, "I", entry.seq))
+        heapq.heappush(self.events,
+                       (entry.complete_cycle, self._tiebreak, entry))
+
+    # ------------------------------------------------------------------ dispatch
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.rename_width
+        self._dispatch_blocked = None
+        frontend_q = self.frontend_q
+        while budget and frontend_q and frontend_q[0][0] <= cycle:
+            uop = frontend_q[0][1]
+            reason = self._allocation_block_reason(uop)
+            if reason is not None:
+                self._dispatch_blocked = reason
+                break
+            frontend_q.popleft()
+            self._allocate(uop, cycle)
+            budget -= 1
+        if self._dispatch_blocked is not None:
+            self._account_stall(cycle, self._dispatch_blocked, 1)
+
+    def _allocation_block_reason(self, uop: DynUop) -> Optional[str]:
+        if len(self.rob) >= self.rob_size:
+            return "rob"
+        if self.rs_used >= self.rs_size:
+            return "rs"
+        if uop.is_load and self.lq_used >= self.lq_size:
+            return "lq"
+        if uop.is_store and self.sq_used >= self.sq_size:
+            return "sq"
+        if uop.writes_reg and self.writers_inflight >= self.prf_writers_limit:
+            return "prf"
+        return None
+
+    def _wire_dependencies(self, entry: RobEntry) -> int:
+        """Register *entry* on its in-flight producers; return pending count."""
+        uop = entry.uop
+        inflight = self.inflight
+        pending = 0
+        for dep in uop.src_deps:
+            producer = inflight.get(dep)
+            if producer is not None and producer.state != COMPLETE \
+                    and not producer.flushed:
+                producer.add_waiter(entry)
+                pending += 1
+        if uop.is_load and uop.store_dep >= 0:
+            store = inflight.get(uop.store_dep)
+            if store is not None and not store.flushed:
+                entry.forwarded = True
+                if store.state != COMPLETE:
+                    store.add_waiter(entry)
+                    pending += 1
+        return pending
+
+    def _allocate(self, uop: DynUop, cycle: int) -> RobEntry:
+        entry = RobEntry(uop, critical=self._is_critical(uop))
+        if uop.seq in self._mispredicted_seqs:
+            entry.mispredicted = True
+            self._mispredicted_seqs.discard(uop.seq)
+        pending = self._wire_dependencies(entry)
+        entry.pending = pending
+        if pending == 0:
+            entry.state = READY
+            self._push_ready(entry)
+        if self.conservative_mem and uop.is_store:
+            bisect.insort(self._unissued_stores, uop.seq)
+        self.rob.append(entry)
+        self.inflight[uop.seq] = entry
+        self.rs_used += 1
+        if uop.is_load:
+            self.lq_used += 1
+        elif uop.is_store:
+            self.sq_used += 1
+        if uop.writes_reg:
+            self.writers_inflight += 1
+        self.counters.bump("rename_uops")
+        self.counters.bump("rob_writes")
+        if self.event_log is not None:
+            self.event_log.append((cycle, "D", uop.seq))
+        self._on_dispatch(entry, cycle)
+        return entry
+
+    # ------------------------------------------------------------------ stalls
+    def _account_stall(self, cycle: int, reason: str, weight: int) -> None:
+        if reason == "rob":
+            self.counters.bump("full_window_stall_cycles", weight)
+            if self.rob:
+                head = self.rob[0]
+                if head.uop.is_load and head.llc_miss and head.state == ISSUED:
+                    self.counters.bump("stall_head_llc_miss_cycles", weight)
+                if self.profiler is not None:
+                    self.profiler.on_stall_cycle(head.seq, self.rob[-1].seq,
+                                                 weight)
+        self.counters.bump(f"dispatch_stall_{reason}_cycles", weight)
+        self._on_stall_cycles(cycle, reason, weight)
+
+    # ------------------------------------------------------------------ fetch
+    def _fetch(self, cycle: int) -> None:
+        if self.fetch_blocked_on is not None or cycle < self.fetch_resume_cycle:
+            return
+        trace = self.trace
+        total = len(trace)
+        if self.fetch_seq >= total:
+            return
+        budget = self.fetch_width
+        frontend_q = self.frontend_q
+        ready_at = cycle + self.decode_latency
+        while budget and len(frontend_q) < self.frontend_cap \
+                and self.fetch_seq < total:
+            uop = trace[self.fetch_seq]
+            self._touch_icache(cycle, uop.pc)
+            self.fetch_seq += 1
+            frontend_q.append((ready_at, uop))
+            if self.event_log is not None:
+                self.event_log.append((cycle, "F", uop.seq))
+            self.counters.bump("fetch_uops")
+            budget -= 1
+            if uop.is_branch:
+                self.counters.bump("bpred_accesses")
+                outcome = self.branch_unit.predict_and_train(uop)
+                self._note_branch_outcome(uop, outcome)
+                if outcome.mispredicted:
+                    self._mispredicted_seqs.add(uop.seq)
+                    self.mispredicted_branch_seqs.append(uop.seq)
+                    self.fetch_blocked_on = uop.seq
+                    break
+                if outcome.btb_miss:
+                    self.fetch_resume_cycle = cycle + 2   # one bubble
+                    break
+                if uop.taken:
+                    break   # taken branches end the fetch group
+
+    def _touch_icache(self, cycle: int, pc: int) -> None:
+        line = pc // UOPS_PER_ICACHE_LINE
+        if line != self._last_ifetch_line:
+            self.mem.ifetch(cycle, line)
+            self._last_ifetch_line = line
+
+    # ------------------------------------------------------------------ advance
+    def _advance(self, cycle: int) -> int:
+        """Advance time; skip idle stretches when provably nothing happens."""
+        next_cycle = cycle + 1
+        if self.ready_q or self._retired_this_cycle:
+            return next_cycle
+        # Can anything dispatch next cycle?
+        frontend_q = self.frontend_q
+        if frontend_q and frontend_q[0][0] <= next_cycle \
+                and self._dispatch_blocked is None:
+            return next_cycle
+        # Can fetch do anything next cycle?
+        fetch_possible = (self.fetch_blocked_on is None
+                          and self.fetch_seq < len(self.trace)
+                          and len(frontend_q) < self.frontend_cap)
+        if fetch_possible and self.fetch_resume_cycle <= next_cycle:
+            return next_cycle
+        # Idle until the next event.
+        candidates = []
+        if self.events:
+            candidates.append(self.events[0][0])
+        if self.retry_loads:
+            # Rejected loads can only succeed once an MSHR frees (or a
+            # same-line fill completes, which is an event above).
+            for expiry in (self.mem.l1d_mshrs.next_expiry,
+                           self.mem.llc_mshrs.next_expiry):
+                if expiry is not None:
+                    candidates.append(expiry)
+        if frontend_q and self._dispatch_blocked is None:
+            candidates.append(frontend_q[0][0])
+        if fetch_possible:
+            candidates.append(self.fetch_resume_cycle)
+        if not candidates:
+            return next_cycle
+        target = min(candidates)
+        if target <= next_cycle:
+            return next_cycle
+        skipped = target - next_cycle
+        if self._dispatch_blocked is not None:
+            self._account_stall(cycle, self._dispatch_blocked, skipped)
+        self.counters.bump("idle_skipped_cycles", skipped)
+        return target
+
+    # ------------------------------------------------------------------ results
+    def _external_counts(self) -> Dict[str, int]:
+        mem = self.mem
+        return {
+            "l1i_accesses": mem.l1i.accesses,
+            "l1d_accesses": mem.l1d.accesses,
+            "llc_accesses": mem.llc.accesses,
+            "dram_reads": mem.dram.total_reads,
+            "dram_writes": mem.dram.total_writes,
+            "bpred_lookups": self.branch_unit.branches_seen,
+            "btb_lookups": self.branch_unit.btb.lookups,
+            "prefetches": mem.prefetches_issued,
+        }
+
+    def _snapshot(self, cycle: int) -> dict:
+        return {
+            "cycle": cycle,
+            "retired": self.retired,
+            "counters": self.counters.snapshot(),
+            "dram_reads": dict(self.mem.dram.reads),
+            "dram_writes": dict(self.mem.dram.writes),
+            "mlp": self.mlp_tracker.snapshot(),
+            "external": self._external_counts(),
+        }
+
+    def _build_result(self, end_cycle: int, warm_snap: Optional[dict]) -> SimResult:
+        counters = Counters(self.counters)
+        external = self._external_counts()
+        if warm_snap is not None:
+            counters = counters.delta(warm_snap["counters"])
+            cycles = end_cycle - warm_snap["cycle"]
+            retired = self.retired - warm_snap["retired"]
+            dram_reads = {k: v - warm_snap["dram_reads"].get(k, 0)
+                          for k, v in self.mem.dram.reads.items()}
+            dram_writes = {k: v - warm_snap["dram_writes"].get(k, 0)
+                           for k, v in self.mem.dram.writes.items()}
+            mlp = self.mlp_tracker.delta_mlp(warm_snap["mlp"])
+            for key, value in external.items():
+                counters[key] = value - warm_snap["external"].get(key, 0)
+        else:
+            cycles = end_cycle
+            retired = self.retired
+            dram_reads = dict(self.mem.dram.reads)
+            dram_writes = dict(self.mem.dram.writes)
+            mlp = self.mlp_tracker.mlp
+            for key, value in external.items():
+                counters[key] = value
+        counters["branch_mispredicts"] = self.branch_unit.mispredicts
+        return SimResult(
+            benchmark=self.benchmark,
+            mode=self._mode_name(),
+            cycles=cycles,
+            retired_uops=retired,
+            mlp=mlp,
+            dram_reads=dram_reads,
+            dram_writes=dram_writes,
+            full_window_stall_cycles=counters["full_window_stall_cycles"],
+            counters=counters,
+        )
+
+    def _mode_name(self) -> str:
+        return "baseline"

@@ -1,0 +1,18 @@
+"""Energy and area modelling (CACTI/McPAT substitute)."""
+
+from .model import EnergyBreakdown, EnergyModel
+from .structures import (
+    CORE_STATIC_PJ_PER_CYCLE,
+    CORE_UOP_PJ,
+    DRAM_ACCESS_PJ,
+    Structure,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "Structure",
+    "CORE_STATIC_PJ_PER_CYCLE",
+    "CORE_UOP_PJ",
+    "DRAM_ACCESS_PJ",
+]

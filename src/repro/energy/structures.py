@@ -1,0 +1,74 @@
+"""Per-structure energy and area models (CACTI/McPAT substitute).
+
+The paper uses CACTI 6.0 and McPAT for energy/area. Offline, we model each
+SRAM/CAM/regfile structure analytically with the same first-order scaling
+CACTI exhibits: access energy grows roughly with the square root of
+capacity (bitline/wordline length), leakage and area grow linearly with
+capacity, and ports multiply both. Absolute numbers are representative of
+a 22nm-class node; every figure only uses *relative* energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Scaling constants (22nm-ish, first order).
+_SRAM_BASE_PJ = 2.0
+_SRAM_SQRT_PJ = 0.08        # per sqrt(byte)
+_CAM_FACTOR = 3.0           # associative search premium
+_REGFILE_FACTOR = 0.6       # small, heavily ported arrays
+_LEAK_NW_PER_BYTE = 0.020   # leakage power per byte
+_AREA_MM2_PER_KB = 0.0022   # SRAM density
+_PORT_ENERGY_FACTOR = 0.35  # extra energy per extra port
+_PORT_AREA_FACTOR = 0.45    # extra area per extra port
+
+
+@dataclass(frozen=True)
+class Structure:
+    """One hardware structure with capacity/ports/kind."""
+
+    name: str
+    capacity_bytes: int
+    ports: int = 1
+    kind: str = "sram"          # 'sram' | 'cam' | 'regfile'
+
+    def access_energy_pj(self) -> float:
+        """Dynamic energy of one access."""
+        energy = _SRAM_BASE_PJ + _SRAM_SQRT_PJ * math.sqrt(
+            max(1, self.capacity_bytes))
+        if self.kind == "cam":
+            energy *= _CAM_FACTOR
+        elif self.kind == "regfile":
+            energy *= _REGFILE_FACTOR
+        energy *= 1.0 + _PORT_ENERGY_FACTOR * (self.ports - 1)
+        return energy
+
+    def leakage_nw(self) -> float:
+        """Static power (nW); multiplied by cycle time externally."""
+        leak = _LEAK_NW_PER_BYTE * self.capacity_bytes
+        if self.kind == "cam":
+            leak *= 1.6
+        return leak * (1.0 + 0.2 * (self.ports - 1))
+
+    def area_mm2(self) -> float:
+        area = _AREA_MM2_PER_KB * self.capacity_bytes / 1024.0
+        if self.kind == "cam":
+            area *= 1.8
+        elif self.kind == "regfile":
+            area *= 1.3
+        return area * (1.0 + _PORT_AREA_FACTOR * (self.ports - 1))
+
+
+#: Energy of one 64B DRAM transfer (read or write), in pJ. DDR4-class
+#: devices land at 40-100 pJ/bit including I/O; 64B = 512 bits.
+DRAM_ACCESS_PJ = 22_000.0
+
+#: Fixed core overhead (decode, execution units, clocking) charged per
+#: executed uop; makes 'duplicate instructions executed twice' visible in
+#: the PRE comparison, as McPAT's core model does.
+CORE_UOP_PJ = 20.0
+
+#: Non-modelled leakage + clock tree power, per cycle at 3.2 GHz, in pJ.
+#: This is what converts a runtime reduction into an energy reduction.
+CORE_STATIC_PJ_PER_CYCLE = 800.0

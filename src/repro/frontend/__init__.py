@@ -1,0 +1,24 @@
+"""Frontend structures: branch predictors, BTB, RAS, branch unit."""
+
+from .bpred import (
+    BimodalPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    TAGEPredictor,
+    make_predictor,
+)
+from .branch_unit import BranchOutcome, BranchUnit
+from .btb import BTB
+from .ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalPredictor",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "TAGEPredictor",
+    "make_predictor",
+    "BranchOutcome",
+    "BranchUnit",
+    "BTB",
+    "ReturnAddressStack",
+]

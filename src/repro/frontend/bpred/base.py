@@ -1,0 +1,42 @@
+"""Direction-predictor interface and shared state."""
+
+from __future__ import annotations
+
+
+class DirectionPredictor:
+    """Predicts taken/not-taken for conditional branches.
+
+    Trace-driven usage: the pipeline calls :meth:`predict` at fetch time,
+    compares with the actual outcome from the trace, charges a misprediction
+    penalty if they differ, then calls :meth:`update` with the actual
+    outcome (history is updated with the true direction, as resolved
+    hardware eventually does).
+    """
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        raise NotImplementedError
+
+    def record_outcome(self, predicted: bool, actual: bool) -> bool:
+        """Book-keeping helper; returns True when mispredicted."""
+        self.predictions += 1
+        mispredicted = predicted != actual
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    @property
+    def mpki_numerator(self) -> int:
+        return self.mispredictions

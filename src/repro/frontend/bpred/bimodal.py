@@ -1,0 +1,28 @@
+"""Bimodal (per-PC 2-bit counter) predictor."""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        super().__init__()
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._counters = [2] * entries   # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1

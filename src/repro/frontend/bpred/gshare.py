@@ -1,0 +1,34 @@
+"""Gshare predictor: global history XOR PC indexing."""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class GsharePredictor(DirectionPredictor):
+    """2-bit counters indexed by (PC xor global history)."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12) -> None:
+        super().__init__()
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [2] * entries
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,34 @@
+"""Return Address Stack for CALL/RET target prediction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular RAS; overflows overwrite the oldest entry."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        self.pushes += 1
+        if len(self._stack) == self.depth:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,101 @@
+"""Experiment harness: runners, sweeps, and figure drivers."""
+
+from .runner import (
+    MODES,
+    config_for_mode,
+    geomean,
+    load_workload,
+    make_pipeline,
+    run_benchmark,
+    run_comparison,
+    speedups,
+)
+
+__all__ = [
+    "MODES",
+    "config_for_mode",
+    "geomean",
+    "load_workload",
+    "make_pipeline",
+    "run_benchmark",
+    "run_comparison",
+    "speedups",
+]
+
+from .experiments import (  # noqa: E402
+    ablation_critical_branches,
+    ablation_partitioning,
+    ablation_thresholds,
+    fig01_rob_distribution,
+    fig13_speedup,
+    fig14_mlp,
+    fig15_traffic,
+    fig16_energy,
+    fig17_scaling,
+    format_ablation_branches,
+    format_ablation_partitioning,
+    format_ablation_thresholds,
+    format_fig01,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_fig16,
+    format_fig17,
+    get_comparison,
+    table1_text,
+)
+from .tables import percent, ratio, render_table  # noqa: E402
+
+__all__ += [
+    "ablation_critical_branches",
+    "ablation_partitioning",
+    "ablation_thresholds",
+    "fig01_rob_distribution",
+    "fig13_speedup",
+    "fig14_mlp",
+    "fig15_traffic",
+    "fig16_energy",
+    "fig17_scaling",
+    "format_ablation_branches",
+    "format_ablation_partitioning",
+    "format_ablation_thresholds",
+    "format_fig01",
+    "format_fig13",
+    "format_fig14",
+    "format_fig15",
+    "format_fig16",
+    "format_fig17",
+    "get_comparison",
+    "table1_text",
+    "percent",
+    "ratio",
+    "render_table",
+]
+
+from .sweep import (  # noqa: E402
+    geomean_speedups,
+    llc_size_knob,
+    memory_speed_knob,
+    mshr_knob,
+    sweep,
+)
+
+__all__ += [
+    "geomean_speedups",
+    "llc_size_knob",
+    "memory_speed_knob",
+    "mshr_knob",
+    "sweep",
+]
+
+from .report import build_report  # noqa: E402
+
+__all__ += ["build_report"]
+
+from .timeline import (  # noqa: E402
+    collect_events,
+    first_seq_at_pc,
+    render_timeline,
+)
+
+__all__ += ["collect_events", "first_seq_at_pc", "render_timeline"]

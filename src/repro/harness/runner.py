@@ -1,0 +1,103 @@
+"""Experiment runner: one benchmark x one mode -> SimResult.
+
+This is the programmatic entry point everything else (examples, figure
+drivers, pytest benches) uses. Traces are cached per (name, scale, seed)
+so the three modes of a comparison share one functional execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..cdf import CDFPipeline
+from ..config import SimConfig
+from ..core import BaselinePipeline
+from ..energy import EnergyModel
+from ..runahead import PREPipeline
+from ..stats import SimResult
+from ..workloads import DEFAULT_SEED, Workload, get_workload
+
+MODES = ("baseline", "cdf", "pre")
+
+_workload_cache: Dict[Tuple[str, float, int], Workload] = {}
+
+
+def load_workload(name: str, scale: float = 1.0,
+                  seed: int = DEFAULT_SEED) -> Workload:
+    """Build (or fetch the cached) workload; its trace is cached too."""
+    key = (name, scale, seed)
+    if key not in _workload_cache:
+        _workload_cache[key] = get_workload(name, scale=scale, seed=seed)
+    return _workload_cache[key]
+
+
+def config_for_mode(mode: str, **overrides) -> SimConfig:
+    if mode == "baseline":
+        return SimConfig.baseline(**overrides)
+    if mode == "cdf":
+        return SimConfig.with_cdf(**overrides)
+    if mode == "pre":
+        return SimConfig.with_pre(**overrides)
+    raise ValueError(f"unknown mode: {mode!r}; known: {MODES}")
+
+
+def make_pipeline(mode: str, trace, config: SimConfig, workload: Workload,
+                  **kwargs):
+    if mode == "baseline":
+        return BaselinePipeline(trace, config, benchmark=workload.name,
+                                **kwargs)
+    if mode == "cdf":
+        return CDFPipeline(trace, config, workload.program,
+                           benchmark=workload.name, **kwargs)
+    if mode == "pre":
+        return PREPipeline(trace, config, workload.program,
+                           benchmark=workload.name, **kwargs)
+    raise ValueError(f"unknown mode: {mode!r}")
+
+
+def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
+                  seed: int = DEFAULT_SEED,
+                  config: Optional[SimConfig] = None,
+                  **pipeline_kwargs) -> SimResult:
+    """Run one benchmark under one mode; returns the SimResult with the
+    energy model applied."""
+    workload = load_workload(name, scale, seed)
+    trace = workload.trace()
+    if config is None:
+        config = config_for_mode(mode)
+    config.stats_warmup_uops = workload.warmup_uops()
+    pipeline = make_pipeline(mode, trace, config, workload,
+                             **pipeline_kwargs)
+    result = pipeline.run()
+    EnergyModel(config).compute(result)
+    return result
+
+
+def run_comparison(names: Iterable[str], modes: Iterable[str] = MODES,
+                   scale: float = 1.0, seed: int = DEFAULT_SEED,
+                   ) -> Dict[str, Dict[str, SimResult]]:
+    """Run every benchmark under every mode."""
+    results: Dict[str, Dict[str, SimResult]] = {}
+    for name in names:
+        results[name] = {}
+        for mode in modes:
+            results[name][mode] = run_benchmark(name, mode, scale, seed)
+    return results
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups(results: Dict[str, Dict[str, SimResult]],
+             mode: str) -> Dict[str, float]:
+    """Per-benchmark IPC ratio of *mode* over baseline."""
+    out = {}
+    for name, by_mode in results.items():
+        out[name] = by_mode[mode].speedup_over(by_mode["baseline"])
+    return out

@@ -1,0 +1,73 @@
+"""Parameter-sweep utilities.
+
+Generic machinery for sensitivity studies: sweep one knob across a list
+of values, run a set of benchmarks under selected modes at each point,
+and collect geomean speedups. Used by the Fig. 17 driver's cousin
+studies (memory-system sensitivity, MSHR scaling) and available to
+users for their own what-if experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..config import SimConfig
+from ..workloads import DEFAULT_SEED
+from .runner import config_for_mode, geomean, run_benchmark
+
+#: A knob mutates a SimConfig in place for a given sweep value.
+Knob = Callable[[SimConfig, object], None]
+
+
+def sweep(knob: Knob, values: Sequence, names: Sequence[str],
+          modes: Sequence[str] = ("baseline", "cdf", "pre"),
+          scale: float = 0.5, seed: int = DEFAULT_SEED) -> Dict:
+    """Run the sweep; returns {value: {mode: {benchmark: SimResult}}}."""
+    results: Dict = {}
+    for value in values:
+        results[value] = {}
+        for mode in modes:
+            results[value][mode] = {}
+            for name in names:
+                config = config_for_mode(mode)
+                knob(config, value)
+                results[value][mode][name] = run_benchmark(
+                    name, mode, scale, seed, config=config)
+    return results
+
+
+def geomean_speedups(results: Dict,
+                     over_mode: str = "baseline") -> Dict:
+    """Reduce sweep results to {value: {mode: geomean speedup}}."""
+    out: Dict = {}
+    for value, by_mode in results.items():
+        base = by_mode[over_mode]
+        out[value] = {}
+        for mode, by_name in by_mode.items():
+            if mode == over_mode:
+                continue
+            ratios = [by_name[name].speedup_over(base[name])
+                      for name in by_name]
+            out[value][mode] = geomean(ratios)
+    return out
+
+
+# ------------------------------------------------------------ common knobs
+def memory_speed_knob(config: SimConfig, factor: float) -> None:
+    """Scale main-memory latency: factor 1.0 is DDR4-2400; 0.5 halves
+    the core-visible timing parameters (a 'better memory system')."""
+    dram = config.dram
+    dram.trp = max(1, int(dram.trp * factor))
+    dram.tcl = max(1, int(dram.tcl * factor))
+    dram.trcd = max(1, int(dram.trcd * factor))
+    dram.burst_core_cycles = max(2, int(dram.burst_core_cycles * factor))
+
+
+def mshr_knob(config: SimConfig, count: int) -> None:
+    """Set the L1D/LLC MSHR counts (the hard MLP ceiling)."""
+    config.l1d.mshrs = count
+    config.llc.mshrs = 2 * count
+
+
+def llc_size_knob(config: SimConfig, size_bytes: int) -> None:
+    config.llc.size_bytes = size_bytes

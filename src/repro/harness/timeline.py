@@ -1,0 +1,98 @@
+"""ASCII pipeline-timeline rendering.
+
+Turn a pipeline's optional ``event_log`` into a per-uop waterfall diagram
+(one row per dynamic uop, one column per cycle) — the clearest way to
+*see* Criticality Driven Fetch working: critical uops ('f'/'d') jump far
+ahead of the non-critical stream and their loads issue long before their
+program-order neighbours.
+
+Event characters: F fetch, D dispatch/rename, I issue, C complete,
+R retire; CDF adds f (critical fetch), d (critical rename) and
+p (rename replay). Between issue and completion the row is filled with
+'=' (execution in flight).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Event = Tuple[int, str, int]
+
+
+def collect_events(event_log: Iterable[Event], first_seq: int,
+                   last_seq: int):
+    """Group events by seq within [first_seq, last_seq]."""
+    per_seq = {}
+    for cycle, kind, seq in event_log:
+        if first_seq <= seq <= last_seq:
+            per_seq.setdefault(seq, []).append((cycle, kind))
+    return per_seq
+
+
+def render_timeline(event_log: Sequence[Event], trace,
+                    first_seq: int, last_seq: int,
+                    max_width: int = 110,
+                    describe=None) -> str:
+    """Render a waterfall for uops [first_seq, last_seq].
+
+    ``describe(uop) -> str`` customises the row label (defaults to a
+    short disassembly-ish tag).
+    """
+    per_seq = collect_events(event_log, first_seq, last_seq)
+    if not per_seq:
+        return "(no events in range - did you set pipeline.event_log?)"
+    start_cycle = min(cycle for events in per_seq.values()
+                      for cycle, _ in events)
+    end_cycle = max(cycle for events in per_seq.values()
+                    for cycle, _ in events)
+    # Compress time if the window is wider than max_width columns.
+    span = end_cycle - start_cycle + 1
+    step = max(1, -(-span // max_width))
+    columns = -(-span // step)
+
+    def column(cycle: int) -> int:
+        return (cycle - start_cycle) // step
+
+    label_width = 26
+    lines: List[str] = []
+    header = (f"cycles {start_cycle}..{end_cycle}"
+              + (f"  (1 column = {step} cycles)" if step > 1 else ""))
+    lines.append(header)
+    for seq in range(first_seq, last_seq + 1):
+        events = sorted(per_seq.get(seq, []))
+        row = [" "] * columns
+        issue_col = complete_col = None
+        for cycle, kind in events:
+            col = column(cycle)
+            if kind == "I":
+                issue_col = col
+            if kind == "C":
+                complete_col = col
+            row[col] = kind
+        if issue_col is not None and complete_col is not None:
+            for col in range(issue_col + 1, complete_col):
+                if row[col] == " ":
+                    row[col] = "="
+        uop = trace[seq]
+        if describe is not None:
+            label = describe(uop)
+        else:
+            kind_tag = ("LD" if uop.is_load else "ST" if uop.is_store
+                        else "BR" if uop.is_branch else "  ")
+            label = f"#{seq} pc={uop.pc:<4d} {kind_tag}"
+        lines.append(f"{label:<{label_width}}|{''.join(row)}|")
+    lines.append("legend: F/f fetch  D/d rename  I issue  = exec  "
+                 "C complete  p replay  R retire  (lowercase = critical "
+                 "stream)")
+    return "\n".join(lines)
+
+
+def first_seq_at_pc(trace, pc: int, occurrence: int = 0) -> Optional[int]:
+    """Find the seq of the n-th dynamic instance of static *pc*."""
+    seen = 0
+    for uop in trace:
+        if uop.pc == pc:
+            if seen == occurrence:
+                return uop.seq
+            seen += 1
+    return None

@@ -1,0 +1,152 @@
+"""Text assembler for the repro uop ISA.
+
+Accepts the same syntax that :func:`repro.isa.program.format_instruction`
+emits, so ``assemble(program.disassemble())`` round-trips. Grammar, one
+instruction or label per line, ``;`` or ``#`` start a comment::
+
+    loop:
+      movi r1, 100
+      load r2, [r3 + r1*8 + 16]
+      add r1, r1, -1          ; immediate form
+      add r4, r2, r5          ; register form
+      store r4, [r3]
+      bnez r1, loop
+      halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .builder import ProgramBuilder
+from .program import Program
+from .registers import parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+
+_THREE_OP = {"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+             "shl", "shr", "cmplt", "cmpeq", "fadd", "fmul", "fdiv"}
+_BRANCHES = {"beqz", "bnez", "bltz", "bgez"}
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax error, with the offending line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def assemble(text: str) -> Program:
+    """Assemble *text* into a :class:`Program`."""
+    builder = ProgramBuilder()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                builder.label(label_match.group(1))
+            except ValueError as exc:
+                raise AssemblyError(lineno, str(exc)) from exc
+            continue
+        _assemble_line(builder, line, lineno)
+    try:
+        return builder.build()
+    except ValueError as exc:
+        raise AssemblyError(0, str(exc)) from exc
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split operand text on commas not inside brackets."""
+    parts, depth, current = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_mem(operand: str, lineno: int) -> Tuple[int, Optional[int], int, int]:
+    compact = operand.replace(" ", "")
+    match = re.match(
+        r"^\[(r\d+)(?:\+(r\d+)\*(\d+))?(?:\+(-?\d+))?\]$", compact)
+    if not match:
+        raise AssemblyError(lineno, f"bad memory operand: {operand!r}")
+    base = parse_reg(match.group(1))
+    index = parse_reg(match.group(2)) if match.group(2) else None
+    scale = int(match.group(3)) if match.group(3) else 1
+    imm = int(match.group(4)) if match.group(4) else 0
+    return base, index, scale, imm
+
+
+def _parse_target(token: str):
+    token = token.strip()
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def _assemble_line(builder: ProgramBuilder, line: str, lineno: int) -> None:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+    try:
+        _dispatch(builder, mnemonic, operands, lineno)
+    except AssemblyError:
+        raise
+    except ValueError as exc:
+        raise AssemblyError(lineno, str(exc)) from exc
+
+
+def _dispatch(builder: ProgramBuilder, mnemonic: str,
+              operands: List[str], lineno: int) -> None:
+    if mnemonic in _THREE_OP:
+        if len(operands) != 3:
+            raise AssemblyError(lineno, f"{mnemonic} needs 3 operands")
+        dst = parse_reg(operands[0])
+        src1 = parse_reg(operands[1])
+        method_name = mnemonic + "_" if mnemonic in ("and", "or") else mnemonic
+        method = getattr(builder, method_name)
+        if operands[2].lstrip("-").isdigit():
+            method(dst, src1, imm=int(operands[2]))
+        else:
+            method(dst, src1, parse_reg(operands[2]))
+    elif mnemonic == "mov":
+        builder.mov(parse_reg(operands[0]), parse_reg(operands[1]))
+    elif mnemonic == "movi":
+        builder.movi(parse_reg(operands[0]), int(operands[1]))
+    elif mnemonic in ("load", "store"):
+        if len(operands) != 2:
+            raise AssemblyError(lineno, f"{mnemonic} needs 2 operands")
+        reg = parse_reg(operands[0])
+        base, index, scale, imm = _parse_mem(operands[1], lineno)
+        if mnemonic == "load":
+            builder.load(reg, base, index=index, scale=scale, imm=imm)
+        else:
+            builder.store(reg, base, index=index, scale=scale, imm=imm)
+    elif mnemonic in _BRANCHES:
+        if len(operands) != 2:
+            raise AssemblyError(lineno, f"{mnemonic} needs 2 operands")
+        getattr(builder, mnemonic)(parse_reg(operands[0]),
+                                   _parse_target(operands[1]))
+    elif mnemonic in ("jmp", "call"):
+        if len(operands) != 1:
+            raise AssemblyError(lineno, f"{mnemonic} needs 1 operand")
+        getattr(builder, mnemonic)(_parse_target(operands[0]))
+    elif mnemonic in ("ret", "nop", "halt"):
+        getattr(builder, mnemonic)()
+    else:
+        raise AssemblyError(lineno, f"unknown mnemonic: {mnemonic!r}")

@@ -1,0 +1,88 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one entry in a :class:`~repro.isa.program.Program`.
+Its ``pc`` is simply its index in the program's instruction list; there is
+no variable-length encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .opcodes import (
+    Opcode,
+    is_branch,
+    is_cond_branch,
+    is_load,
+    is_store,
+    writes_register,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static uop.
+
+    Fields that do not apply to an opcode are ``None``/0:
+
+    * ``dst`` — destination register for writers; for STORE it is the
+      *data* register whose value is written to memory.
+    * ``src1``/``src2`` — source registers. For memory ops, ``src1`` is the
+      base register and ``src2`` the optional index register.
+    * ``imm`` — immediate: MOVI value, memory displacement, or ALU operand
+      when ``src2`` is None.
+    * ``scale`` — index scale for memory ops (bytes per element).
+    * ``target`` — static target pc for branches/jumps/calls.
+    """
+
+    op: Opcode
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    scale: int = 1
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if is_branch(self.op) and self.op != Opcode.RET and self.target is None:
+            raise ValueError(f"{self.op.name} requires a target")
+        if writes_register(self.op) and self.dst is None:
+            raise ValueError(f"{self.op.name} requires a destination register")
+        if is_store(self.op) and self.dst is None:
+            raise ValueError("STORE requires a data register in dst")
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.op)
+
+    @property
+    def is_mem(self) -> bool:
+        return is_load(self.op) or is_store(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.op)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return is_cond_branch(self.op)
+
+    @property
+    def writes_reg(self) -> bool:
+        return writes_register(self.op)
+
+    def source_regs(self) -> tuple:
+        """Return the tuple of architectural source registers read."""
+        srcs = []
+        if self.src1 is not None:
+            srcs.append(self.src1)
+        if self.src2 is not None:
+            srcs.append(self.src2)
+        if self.op == Opcode.STORE and self.dst is not None:
+            srcs.append(self.dst)  # store data register is a source
+        return tuple(srcs)

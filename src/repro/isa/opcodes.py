@@ -1,0 +1,138 @@
+"""Opcode definitions for the repro uop ISA.
+
+The ISA is a small RISC-like uop set: integer ALU ops, floating-point ops
+(modelled as latency classes on the unified register file), loads/stores
+with base+index*scale+imm addressing, direct conditional branches, an
+unconditional jump, and call/return (which exercise the return address
+stack). This is deliberately simpler than x86-64 (the paper's Scarab
+substrate) because Criticality Driven Fetch operates purely on uop-level
+dataflow; nothing in the mechanism depends on ISA semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """All opcodes in the uop ISA."""
+
+    # Integer ALU
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    SHL = 8
+    SHR = 9
+    MOV = 10        # dst <- src1
+    MOVI = 11       # dst <- imm
+    CMPLT = 12      # dst <- 1 if src1 < src2 else 0
+    CMPEQ = 13      # dst <- 1 if src1 == src2 else 0
+    MOD = 14        # dst <- src1 % src2 (unsigned-ish)
+
+    # Floating point (latency classes; values stored in the same regfile)
+    FADD = 20
+    FMUL = 21
+    FDIV = 22
+
+    # Memory: addr = [src1 + src2 * scale + imm]; src2 optional
+    LOAD = 30       # dst <- mem[addr]
+    STORE = 31      # mem[addr] <- dst-field register (store data register)
+
+    # Control
+    BEQZ = 40       # branch to target if src1 == 0
+    BNEZ = 41       # branch to target if src1 != 0
+    BLTZ = 42       # branch to target if src1 < 0
+    BGEZ = 43       # branch to target if src1 >= 0
+    JMP = 44        # unconditional direct jump
+    CALL = 45       # push return address, jump to target
+    RET = 46        # pop return address, jump to it
+
+    # Misc
+    NOP = 50
+    HALT = 51
+
+
+#: Opcodes that read memory.
+LOAD_OPS = frozenset({Opcode.LOAD})
+
+#: Opcodes that write memory.
+STORE_OPS = frozenset({Opcode.STORE})
+
+#: All memory opcodes.
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Conditional branches (predicted by the direction predictor).
+COND_BRANCH_OPS = frozenset({Opcode.BEQZ, Opcode.BNEZ, Opcode.BLTZ, Opcode.BGEZ})
+
+#: All control-flow opcodes (end a basic block).
+BRANCH_OPS = COND_BRANCH_OPS | frozenset({Opcode.JMP, Opcode.CALL, Opcode.RET})
+
+#: Opcodes that produce a register value.
+WRITER_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+        Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.MOV,
+        Opcode.MOVI, Opcode.CMPLT, Opcode.CMPEQ, Opcode.MOD,
+        Opcode.FADD, Opcode.FMUL, Opcode.FDIV, Opcode.LOAD,
+    }
+)
+
+#: Execution latency (cycles) once operands are ready, excluding memory.
+EXEC_LATENCY = {
+    Opcode.ADD: 1, Opcode.SUB: 1, Opcode.AND: 1, Opcode.OR: 1,
+    Opcode.XOR: 1, Opcode.SHL: 1, Opcode.SHR: 1, Opcode.MOV: 1,
+    Opcode.MOVI: 1, Opcode.CMPLT: 1, Opcode.CMPEQ: 1,
+    Opcode.MUL: 3, Opcode.DIV: 12, Opcode.MOD: 12,
+    Opcode.FADD: 3, Opcode.FMUL: 4, Opcode.FDIV: 14,
+    Opcode.LOAD: 1,   # address generation; memory latency added by the cache
+    Opcode.STORE: 1,
+    Opcode.BEQZ: 1, Opcode.BNEZ: 1, Opcode.BLTZ: 1, Opcode.BGEZ: 1,
+    Opcode.JMP: 1, Opcode.CALL: 1, Opcode.RET: 1,
+    Opcode.NOP: 1, Opcode.HALT: 1,
+}
+
+
+#: Execution-unit class per opcode: 'alu' (simple integer + control),
+#: 'muldiv' (long-latency integer), 'fp' (floating point), 'load', 'store'.
+EXEC_CLASS = {}
+for _op in Opcode:
+    if _op in LOAD_OPS:
+        EXEC_CLASS[_op] = "load"
+    elif _op in STORE_OPS:
+        EXEC_CLASS[_op] = "store"
+    elif _op in (Opcode.MUL, Opcode.DIV, Opcode.MOD):
+        EXEC_CLASS[_op] = "muldiv"
+    elif _op in (Opcode.FADD, Opcode.FMUL, Opcode.FDIV):
+        EXEC_CLASS[_op] = "fp"
+    else:
+        EXEC_CLASS[_op] = "alu"
+del _op
+
+
+def is_load(op: Opcode) -> bool:
+    """Return True if *op* reads memory."""
+    return op in LOAD_OPS
+
+
+def is_store(op: Opcode) -> bool:
+    """Return True if *op* writes memory."""
+    return op in STORE_OPS
+
+
+def is_branch(op: Opcode) -> bool:
+    """Return True if *op* is any control-flow uop."""
+    return op in BRANCH_OPS
+
+
+def is_cond_branch(op: Opcode) -> bool:
+    """Return True if *op* is a conditional branch."""
+    return op in COND_BRANCH_OPS
+
+
+def writes_register(op: Opcode) -> bool:
+    """Return True if *op* produces a register result."""
+    return op in WRITER_OPS

@@ -1,0 +1,120 @@
+"""Binary trace serialisation.
+
+Functional execution of the bigger kernels takes longer than replaying
+them; saving the dynamic uop trace lets experiment sweeps (and other
+tools) reuse one functional run, the way trace-driven simulators ship
+trace files. The format is a compact little-endian packing:
+
+    header:  magic 'CDFT', version u16, uop count u64
+    per uop: pc u32, op u8, flags u8, dst u8 (0xFF = none),
+             n_srcs u8, srcs u8 x n,
+             mem_addr u64 (present iff flags & MEM),
+             next_pc u32,
+             n_deps u8, deps: u64 x n (absolute seqs),
+             store_dep i64 (present iff flags & LOAD)
+
+``exec_lat`` and ``exec_class`` are recomputed from the opcode on load,
+so traces stay valid if latency tables are retuned.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from .dynuop import DynUop
+from .opcodes import EXEC_CLASS, EXEC_LATENCY, Opcode
+
+MAGIC = b"CDFT"
+VERSION = 1
+
+_FLAG_LOAD = 1
+_FLAG_STORE = 2
+_FLAG_BRANCH = 4
+_FLAG_COND = 8
+_FLAG_TAKEN = 16
+_FLAG_MEM = 32
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or version-incompatible."""
+
+
+def save_trace(trace: List[DynUop], path: str) -> None:
+    """Write *trace* to *path* in the binary trace format."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<HQ", VERSION, len(trace))
+    pack = struct.pack
+    for uop in trace:
+        flags = ((_FLAG_LOAD if uop.is_load else 0)
+                 | (_FLAG_STORE if uop.is_store else 0)
+                 | (_FLAG_BRANCH if uop.is_branch else 0)
+                 | (_FLAG_COND if uop.is_cond_branch else 0)
+                 | (_FLAG_TAKEN if uop.taken else 0)
+                 | (_FLAG_MEM if uop.mem_addr is not None else 0))
+        dst = 0xFF if uop.dst is None else uop.dst
+        out += pack("<IBBBB", uop.pc, uop.op, flags, dst, len(uop.srcs))
+        out += bytes(uop.srcs)
+        if uop.mem_addr is not None:
+            out += pack("<Q", uop.mem_addr)
+        out += pack("<IB", uop.next_pc, len(uop.src_deps))
+        for dep in uop.src_deps:
+            out += pack("<Q", dep)
+        if uop.is_load:
+            out += pack("<q", uop.store_dep)
+    with open(path, "wb") as handle:
+        handle.write(out)
+
+
+def load_trace(path: str) -> List[DynUop]:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:4] != MAGIC:
+        raise TraceFormatError(f"{path}: not a CDFT trace file")
+    version, count = struct.unpack_from("<HQ", data, 4)
+    if version != VERSION:
+        raise TraceFormatError(
+            f"{path}: trace version {version}, expected {VERSION}")
+    offset = 4 + 10
+    unpack_from = struct.unpack_from
+    trace: List[DynUop] = []
+    try:
+        for seq in range(count):
+            pc, op, flags, dst, n_srcs = unpack_from("<IBBBB", data, offset)
+            offset += 8
+            srcs = tuple(data[offset:offset + n_srcs])
+            offset += n_srcs
+            mem_addr = None
+            if flags & _FLAG_MEM:
+                (mem_addr,) = unpack_from("<Q", data, offset)
+                offset += 8
+            next_pc, n_deps = unpack_from("<IB", data, offset)
+            offset += 5
+            deps = struct.unpack_from(f"<{n_deps}Q", data, offset) \
+                if n_deps else ()
+            offset += 8 * n_deps
+            is_load = bool(flags & _FLAG_LOAD)
+            store_dep = -1
+            if is_load:
+                (store_dep,) = unpack_from("<q", data, offset)
+                offset += 8
+            opcode = Opcode(op)
+            trace.append(DynUop(
+                seq=seq, pc=pc, op=op,
+                dst=None if dst == 0xFF else dst, srcs=srcs,
+                exec_lat=EXEC_LATENCY[opcode],
+                is_load=is_load, is_store=bool(flags & _FLAG_STORE),
+                is_branch=bool(flags & _FLAG_BRANCH),
+                is_cond_branch=bool(flags & _FLAG_COND),
+                mem_addr=mem_addr, taken=bool(flags & _FLAG_TAKEN),
+                next_pc=next_pc, src_deps=tuple(deps),
+                store_dep=store_dep,
+                exec_class=EXEC_CLASS[opcode]))
+    except (struct.error, ValueError) as exc:
+        raise TraceFormatError(f"{path}: truncated or corrupt "
+                               f"at uop {len(trace)}: {exc}") from exc
+    if offset != len(data):
+        raise TraceFormatError(f"{path}: {len(data) - offset} trailing bytes")
+    return trace

@@ -1,0 +1,30 @@
+"""Memory subsystem: caches, MSHRs, prefetcher, DRAM, and the hierarchy."""
+
+from .cache import Cache, CacheLine
+from .dram import DRAMModel, SOURCES
+from .hierarchy import AccessResult, MemoryHierarchy
+from .mshr import MSHRFile
+from .prefetcher import StreamPrefetcher
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "DRAMModel",
+    "SOURCES",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MSHRFile",
+    "StreamPrefetcher",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

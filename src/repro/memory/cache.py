@@ -1,0 +1,157 @@
+"""Set-associative cache timing model.
+
+The cache stores only tags (this is a timing model; data values live in the
+functional simulator). Lines carry a dirty bit (write-back policy) and a
+prefetched bit used by the feedback-directed prefetcher to measure
+prefetch accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..config import CacheConfig
+from .replacement import make_policy
+
+
+class CacheLine:
+    """One tag-store entry."""
+
+    __slots__ = ("tag", "valid", "dirty", "prefetched")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.prefetched = False
+
+
+class Cache:
+    """A single cache level, addressed by 64B line address.
+
+    All public methods take *line addresses* (byte address // line size);
+    the hierarchy does the division once.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 policy: str = "lru", seed: int = 0) -> None:
+        if config.num_sets <= 0 or config.num_sets & (config.num_sets - 1):
+            raise ValueError(
+                f"{name}: number of sets must be a positive power of two, "
+                f"got {config.num_sets}")
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.latency = config.latency
+        self._set_mask = self.num_sets - 1
+        self._lines = [[CacheLine() for _ in range(self.ways)]
+                       for _ in range(self.num_sets)]
+        self._policies = [make_policy(policy, self.ways, seed + i)
+                          for i in range(self.num_sets)]
+        #: True when the most recent ``lookup`` hit a prefetched line; the
+        #: hierarchy forwards this to the prefetcher's feedback loop.
+        self.last_hit_prefetched = False
+        # Statistics
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.prefetch_fills = 0
+        self.useful_prefetches = 0
+
+    def _find(self, line_addr: int):
+        set_index = line_addr & self._set_mask
+        tag = line_addr
+        for way, line in enumerate(self._lines[set_index]):
+            if line.valid and line.tag == tag:
+                return set_index, way, line
+        return set_index, -1, None
+
+    def lookup(self, line_addr: int, update_stats: bool = True) -> bool:
+        """Probe for *line_addr*; update LRU and hit/miss stats on True."""
+        set_index, way, line = self._find(line_addr)
+        self.last_hit_prefetched = False
+        if update_stats:
+            self.accesses += 1
+        if line is None:
+            if update_stats:
+                self.misses += 1
+            return False
+        if update_stats:
+            self.hits += 1
+            if line.prefetched:
+                self.useful_prefetches += 1
+                self.last_hit_prefetched = True
+                line.prefetched = False
+        self._policies[set_index].on_access(way)
+        return True
+
+    def probe(self, line_addr: int) -> bool:
+        """Check presence without disturbing LRU state or statistics."""
+        _, _, line = self._find(line_addr)
+        return line is not None
+
+    def fill(self, line_addr: int, dirty: bool = False,
+             prefetched: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert *line_addr*; return ``(evicted_line, was_dirty)`` or None.
+
+        Filling a line already present just updates its bits.
+        """
+        set_index, way, line = self._find(line_addr)
+        if line is not None:
+            line.dirty = line.dirty or dirty
+            self._policies[set_index].on_access(way)
+            return None
+        policy = self._policies[set_index]
+        victim_way = None
+        for candidate, candidate_line in enumerate(self._lines[set_index]):
+            if not candidate_line.valid:
+                victim_way = candidate
+                break
+        evicted = None
+        if victim_way is None:
+            victim_way = policy.victim()
+            victim = self._lines[set_index][victim_way]
+            self.evictions += 1
+            if victim.dirty:
+                self.dirty_evictions += 1
+            evicted = (victim.tag, victim.dirty)
+        new_line = self._lines[set_index][victim_way]
+        new_line.tag = line_addr
+        new_line.valid = True
+        new_line.dirty = dirty
+        new_line.prefetched = prefetched
+        if prefetched:
+            self.prefetch_fills += 1
+        policy.on_access(victim_way)
+        return evicted
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit if present; return whether the line was found."""
+        _, _, line = self._find(line_addr)
+        if line is None:
+            return False
+        line.dirty = True
+        return True
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop *line_addr* if present; return whether it was found."""
+        _, _, line = self._find(line_addr)
+        if line is None:
+            return False
+        line.valid = False
+        line.tag = -1
+        line.dirty = False
+        line.prefetched = False
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.dirty_evictions = 0
+        self.prefetch_fills = self.useful_prefetches = 0

@@ -1,0 +1,204 @@
+"""The full memory hierarchy: L1I, L1D, LLC, prefetcher, MSHRs, DRAM.
+
+This is the single entry point the pipelines use for all memory timing.
+Loads return an :class:`AccessResult` with the completion cycle and the
+level that serviced the request; ``None`` means the L1D MSHRs are full and
+the pipeline must retry (this bounds MLP, as in hardware).
+
+Fill state is updated at request time ("instant tags") while latency is
+carried by the returned completion cycle and MSHR entries — the standard
+simplification at this abstraction level.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..config import SimConfig
+from .cache import Cache
+from .dram import DRAMModel
+from .mshr import MSHRFile
+from .prefetcher import StreamPrefetcher
+
+
+class AccessResult(NamedTuple):
+    """Outcome of a load/ifetch: when it completes and who serviced it."""
+
+    completion: int
+    level: str            # 'l1' | 'llc' | 'dram'
+    merged: bool = False  # True if satisfied by an in-flight miss
+
+    @property
+    def llc_miss(self) -> bool:
+        """True when the request had to go to main memory."""
+        return self.level == "dram"
+
+
+class MemoryHierarchy:
+    """Inclusive two-level data hierarchy plus an instruction cache."""
+
+    def __init__(self, config: SimConfig,
+                 mlp_tracker=None) -> None:
+        self.config = config
+        self.line_bytes = config.l1d.line_bytes
+        self.l1i = Cache(config.l1i, name="l1i")
+        self.l1d = Cache(config.l1d, name="l1d")
+        self.llc = Cache(config.llc, name="llc")
+        self.l1d_mshrs = MSHRFile(config.l1d.mshrs)
+        self.llc_mshrs = MSHRFile(config.llc.mshrs)
+        self.dram = DRAMModel(config.dram, config.core.freq_ghz,
+                              config.l1d.line_bytes)
+        self.prefetcher = StreamPrefetcher(config.prefetcher)
+        self.mlp_tracker = mlp_tracker
+        # Stats
+        self.demand_loads = 0
+        self.store_commits = 0
+        self.prefetches_issued = 0
+
+    # ------------------------------------------------------------------ utils
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    # ------------------------------------------------------------------ loads
+    def load(self, cycle: int, addr: int, source: str = "demand",
+             track_mlp: bool = True) -> Optional[AccessResult]:
+        """Access the data hierarchy for a read.
+
+        Returns None when the L1D MSHRs are full (caller retries).
+        """
+        line = self.line_of(addr)
+        self.l1d_mshrs.expire(cycle)
+        self.llc_mshrs.expire(cycle)
+        if source == "demand":
+            self.demand_loads += 1
+
+        # A line whose miss is still in flight sits in the L1 tag store
+        # already (instant tags) but must not be treated as a hit: the
+        # MSHR check comes first and yields a merge with the in-flight
+        # miss's completion time. The MSHR payload records the level that
+        # services the miss; a merge behind a DRAM fetch is still an LLC
+        # miss for criticality training.
+        outstanding = self.l1d_mshrs.lookup(line)
+        if outstanding is not None:
+            completion = self.l1d_mshrs.merge(line)
+            level = self.l1d_mshrs.payload(line) or "llc"
+            self._train_prefetcher(cycle, line, was_miss=True)
+            return AccessResult(max(completion, cycle + self.l1d.latency),
+                                level, merged=True)
+
+        if self.l1d.lookup(line):
+            if self.l1d.last_hit_prefetched:
+                self.prefetcher.on_useful_prefetch()
+            self._train_prefetcher(cycle, line, was_miss=False)
+            return AccessResult(cycle + self.l1d.latency, "l1")
+
+        if not self.l1d_mshrs.can_allocate():
+            self.l1d_mshrs.full_rejections += 1
+            return None
+
+        llc_probe_cycle = cycle + self.l1d.latency
+        if self.llc.lookup(line):
+            if self.llc.last_hit_prefetched:
+                self.prefetcher.on_useful_prefetch()
+            completion = llc_probe_cycle + self.llc.latency
+            self._fill_l1(line)
+            self.l1d_mshrs.allocate(line, completion, payload="llc")
+            self._train_prefetcher(cycle, line, was_miss=True)
+            return AccessResult(completion, "llc")
+
+        # LLC miss -> DRAM (or merge behind an outstanding LLC miss).
+        merged = False
+        outstanding_llc = self.llc_mshrs.lookup(line)
+        if outstanding_llc is not None:
+            completion = self.llc_mshrs.merge(line)
+            completion = max(completion, llc_probe_cycle + self.llc.latency)
+            merged = True
+        else:
+            if not self.llc_mshrs.can_allocate():
+                self.llc_mshrs.full_rejections += 1
+                return None
+            issue = llc_probe_cycle + self.llc.latency
+            completion = self.dram.access(issue, line, source=source)
+            self.llc_mshrs.allocate(line, completion)
+            if track_mlp and self.mlp_tracker is not None:
+                self.mlp_tracker.record(issue, completion, source)
+        self._fill_llc(line)
+        self._fill_l1(line)
+        self.l1d_mshrs.allocate(line, completion, payload="dram")
+        self._train_prefetcher(cycle, line, was_miss=True)
+        return AccessResult(completion, "dram", merged=merged)
+
+    # ------------------------------------------------------------------ stores
+    def store_commit(self, cycle: int, addr: int) -> None:
+        """Commit a store: write-allocate into L1D, mark dirty."""
+        line = self.line_of(addr)
+        self.store_commits += 1
+        if self.l1d.lookup(line):
+            self.l1d.mark_dirty(line)
+            return
+        # Read-for-ownership fetch; latency is absorbed by the store queue.
+        if not self.llc.lookup(line):
+            self.dram.access(cycle, line, source="demand")
+            self._fill_llc(line)
+        self._fill_l1(line, dirty=True)
+
+    # ------------------------------------------------------------------ ifetch
+    def ifetch(self, cycle: int, pc_line: int) -> int:
+        """Instruction fetch for one I-cache line; returns completion cycle."""
+        if self.l1i.lookup(pc_line):
+            return cycle + self.l1i.latency
+        if self.llc.lookup(pc_line):
+            completion = cycle + self.l1i.latency + self.llc.latency
+        else:
+            completion = self.dram.access(
+                cycle + self.l1i.latency + self.llc.latency, pc_line,
+                source="demand")
+            self._fill_llc(pc_line)
+        self.l1i.fill(pc_line)
+        return completion
+
+    # ------------------------------------------------------------------ prefetch
+    def _train_prefetcher(self, cycle: int, line: int, was_miss: bool) -> None:
+        for pf_line in self.prefetcher.on_access(line, was_miss):
+            self._issue_prefetch(cycle, pf_line)
+
+    def _issue_prefetch(self, cycle: int, line: int) -> None:
+        if self.llc.probe(line) or self.llc_mshrs.lookup(line) is not None:
+            return
+        if not self.llc_mshrs.can_allocate():
+            return
+        completion = self.dram.access(cycle, line, source="prefetch",
+                                      low_priority=True)
+        self.llc_mshrs.allocate(line, completion)
+        self.llc.fill(line, prefetched=True)
+        self.prefetches_issued += 1
+
+    # ------------------------------------------------------------------ fills
+    def _fill_l1(self, line: int, dirty: bool = False) -> None:
+        evicted = self.l1d.fill(line, dirty=dirty)
+        if evicted is not None:
+            victim_line, was_dirty = evicted
+            if was_dirty:
+                # Write back into the (inclusive) LLC.
+                if not self.llc.mark_dirty(victim_line):
+                    self.llc.fill(victim_line, dirty=True)
+
+    def _fill_llc(self, line: int) -> None:
+        evicted = self.llc.fill(line)
+        if evicted is not None:
+            victim_line, was_dirty = evicted
+            # Inclusive hierarchy: back-invalidate L1.
+            self.l1d.invalidate(victim_line)
+            self.l1i.invalidate(victim_line)
+            if was_dirty:
+                self.dram.access(0, victim_line, source="writeback",
+                                 is_write=True)
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1i, self.l1d, self.llc):
+            cache.reset_stats()
+        self.l1d_mshrs.reset_stats()
+        self.llc_mshrs.reset_stats()
+        self.dram.reset_stats()
+        self.prefetcher.reset_stats()
+        self.demand_loads = self.store_commits = self.prefetches_issued = 0

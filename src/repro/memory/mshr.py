@@ -1,0 +1,81 @@
+"""Miss Status Holding Registers.
+
+MSHRs track outstanding misses per cache level. A new miss to a line that
+is already outstanding merges with it (shares the completion time and does
+not generate new downstream traffic) — this merging is what allows MLP to
+be measured honestly and is essential for CDF, whose whole point is to get
+more independent misses outstanding at once.
+
+Expiry is O(log n) amortised via a companion heap of completion times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Optional, Tuple
+
+
+class MSHRFile:
+    """Outstanding-miss tracker with bounded capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._outstanding: Dict[int, Tuple[int, Any]] = {}
+        self._heap: list = []            # (completion, line)
+        self.merges = 0
+        self.allocations = 0
+        self.full_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._outstanding)
+
+    def expire(self, cycle: int) -> None:
+        """Retire entries whose miss completed at or before *cycle*."""
+        heap = self._heap
+        outstanding = self._outstanding
+        while heap and heap[0][0] <= cycle:
+            completion, line = heapq.heappop(heap)
+            entry = outstanding.get(line)
+            if entry is not None and entry[0] == completion:
+                del outstanding[line]
+
+    def lookup(self, line_addr: int) -> Optional[int]:
+        """Return the completion cycle if *line_addr* is outstanding."""
+        entry = self._outstanding.get(line_addr)
+        return entry[0] if entry is not None else None
+
+    def payload(self, line_addr: int) -> Any:
+        """Return the payload stored with an outstanding miss (or None)."""
+        entry = self._outstanding.get(line_addr)
+        return entry[1] if entry is not None else None
+
+    @property
+    def next_expiry(self) -> Optional[int]:
+        """Earliest cycle at which an entry may free (lazy heap top)."""
+        return self._heap[0][0] if self._heap else None
+
+    def can_allocate(self) -> bool:
+        return len(self._outstanding) < self.capacity
+
+    def allocate(self, line_addr: int, completes_at: int,
+                 payload: Any = None) -> None:
+        """Track a new outstanding miss. Caller must check capacity first."""
+        if line_addr in self._outstanding:
+            raise ValueError(f"line {line_addr:#x} already outstanding")
+        if not self.can_allocate():
+            self.full_rejections += 1
+            raise RuntimeError("MSHR file full")
+        self._outstanding[line_addr] = (completes_at, payload)
+        heapq.heappush(self._heap, (completes_at, line_addr))
+        self.allocations += 1
+
+    def merge(self, line_addr: int) -> int:
+        """Merge with an outstanding miss; return its completion cycle."""
+        completes = self._outstanding[line_addr][0]
+        self.merges += 1
+        return completes
+
+    def reset_stats(self) -> None:
+        self.merges = self.allocations = self.full_rejections = 0

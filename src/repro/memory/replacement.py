@@ -1,0 +1,83 @@
+"""Cache replacement policies.
+
+Only true-LRU is used by the default configuration, but the policy is
+pluggable so tests (and ablations) can use FIFO or random replacement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class ReplacementPolicy:
+    """Interface: tracks recency within one set of ``ways`` ways."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+
+    def on_access(self, way: int) -> None:
+        """Called when *way* is hit or filled."""
+        raise NotImplementedError
+
+    def victim(self) -> int:
+        """Return the way to evict."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU: per-set recency stack (most recent at the end)."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._stack: List[int] = list(range(ways))
+
+    def on_access(self, way: int) -> None:
+        self._stack.remove(way)
+        self._stack.append(way)
+
+    def victim(self) -> int:
+        return self._stack[0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """FIFO: evict in fill order, ignore hits."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._next = 0
+        self._filled = [False] * ways
+
+    def on_access(self, way: int) -> None:
+        if not self._filled[way]:
+            self._filled[way] = True
+
+    def victim(self) -> int:
+        victim = self._next
+        self._next = (self._next + 1) % self.ways
+        return victim
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a seeded RNG for reproducibility."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory used by :class:`repro.memory.cache.Cache`."""
+    if name == "lru":
+        return LRUPolicy(ways)
+    if name == "fifo":
+        return FIFOPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, seed)
+    raise ValueError(f"unknown replacement policy: {name!r}")

@@ -1,0 +1,6 @@
+"""Precise Runahead: the paper's state-of-the-art comparator."""
+
+from .pre_pipeline import PREPipeline
+from .sst import StallingSliceTable
+
+__all__ = ["PREPipeline", "StallingSliceTable"]

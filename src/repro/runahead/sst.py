@@ -1,0 +1,44 @@
+"""Stalling Slice Table for Precise Runahead.
+
+PRE (Naithani et al., HPCA 2020) tracks the loads that cause full-window
+stalls; their backward slices are what runahead mode executes. Per the
+paper's fair-comparison methodology (Sec. 4.1), our PRE uses the same
+chain-construction infrastructure as CDF, with the SST providing the
+roots: only loads observed blocking the ROB head on an LLC miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class StallingSliceTable:
+    """Bounded set of static load pcs that caused full-window stalls."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def add(self, pc: int) -> None:
+        """Record a stalling load; FIFO eviction when full."""
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[pc] = True
+        self.insertions += 1
+
+    def pcs(self):
+        return list(self._entries)

@@ -1,0 +1,14 @@
+"""Statistics: counters, MLP measurement, ROB-stall profiling, results."""
+
+from .counters import Counters
+from .mlp import MLPTracker
+from .report import SimResult
+from .robstall import RobStallProfiler, mark_critical_chains
+
+__all__ = [
+    "Counters",
+    "MLPTracker",
+    "SimResult",
+    "RobStallProfiler",
+    "mark_critical_chains",
+]

@@ -1,0 +1,37 @@
+"""Generic named-counter bag with snapshot/delta support.
+
+The pipelines bump counters by name; the harness diffs snapshots to
+exclude warmup. A plain dict subclass keeps the hot path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counters(dict):
+    """String-keyed integer counters; missing keys read as zero."""
+
+    def __missing__(self, key: str) -> int:
+        return 0
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self[key] = self.get(key, 0) + amount
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self)
+
+    def delta(self, snap: Dict[str, int]) -> "Counters":
+        """Counters accumulated since *snap* was taken."""
+        result = Counters()
+        for key, value in self.items():
+            diff = value - snap.get(key, 0)
+            if diff:
+                result[key] = diff
+        return result
+
+    def merged_with(self, other: "Counters") -> "Counters":
+        result = Counters(self)
+        for key, value in other.items():
+            result[key] = result.get(key, 0) + value
+        return result

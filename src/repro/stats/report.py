@@ -1,0 +1,64 @@
+"""Simulation result record shared by all pipelines and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .counters import Counters
+
+
+@dataclass
+class SimResult:
+    """Everything one timing run produces.
+
+    ``counters`` carries the long tail of microarchitectural event counts
+    (per-structure accesses for the energy model, stall breakdowns, CDF
+    events); the named fields are the headline metrics every figure uses.
+    """
+
+    benchmark: str
+    mode: str                      # 'baseline' | 'cdf' | 'pre'
+    cycles: int
+    retired_uops: int
+    mlp: float
+    dram_reads: Dict[str, int]
+    dram_writes: Dict[str, int]
+    full_window_stall_cycles: int
+    energy_nj: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_traffic(self) -> int:
+        """Total DRAM transfers (reads + writes), the Fig. 15 metric."""
+        return sum(self.dram_reads.values()) + sum(self.dram_writes.values())
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio vs *baseline* (same benchmark)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def traffic_ratio(self, baseline: "SimResult") -> float:
+        if baseline.total_traffic == 0:
+            return 1.0 if self.total_traffic == 0 else float("inf")
+        return self.total_traffic / baseline.total_traffic
+
+    def energy_ratio(self, baseline: "SimResult") -> float:
+        if baseline.energy_nj == 0:
+            return 1.0
+        return self.energy_nj / baseline.energy_nj
+
+    def mlp_ratio(self, baseline: "SimResult") -> float:
+        if baseline.mlp == 0:
+            return 1.0
+        return self.mlp / baseline.mlp
+
+    def summary(self) -> str:
+        return (f"{self.benchmark:12s} {self.mode:8s} "
+                f"cycles={self.cycles:>9d} ipc={self.ipc:5.3f} "
+                f"mlp={self.mlp:4.2f} traffic={self.total_traffic:>7d}")

@@ -1,0 +1,140 @@
+"""Irregular-gather kernels: astar, soplex, milc.
+
+These are the paper's best cases for CDF: sparse critical chains ending in
+random LLC-missing loads, with (astar, soplex) or without (milc) hard
+data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import (
+    BIG_REGION,
+    DEFAULT_SEED,
+    INDEX_REGION,
+    TABLE_REGION,
+    Workload,
+    emit_filler,
+    fill_random_words,
+    make_rng,
+    scaled,
+)
+
+
+def build_astar(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """astar (Fig. 2): array access whose index is loaded from memory and
+    is 'fairly random'; the array does not fit the LLC. The index array
+    itself streams and prefetches well. A hard branch tests the loaded
+    value (bound checks on random map data)."""
+    rng = make_rng(seed)
+    iters = scaled(700, scale)
+    table_entries = 1 << 16
+    target_words = 1 << 20           # 8 MB footprint >> 1 MB LLC
+    memory = {}
+    targets = [rng.randrange(target_words) for _ in range(table_entries)]
+    for i, t in enumerate(targets):
+        memory[INDEX_REGION + i * 8] = t
+    # Map-cell values: the bound-check branch takes the rare arm ~22% of
+    # the time — data dependent, mispredicting often, and resolving only
+    # when the missing cell returns. Exactly the Fig. 2 structure.
+    for t in set(targets[:iters + 16]):
+        memory[BIG_REGION + t * 8] = (rng.randrange(1 << 30) << 1) | (
+            1 if rng.random() < 0.22 else 0)
+
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, INDEX_REGION)
+    b.movi(3, BIG_REGION)
+    b.movi(4, 0)                                 # i
+    b.label("loop")
+    b.load(5, base=2, index=4, scale=8)          # idx = index[i] (streams)
+    b.load(6, base=3, index=5, scale=8)          # big[idx]: LLC miss
+    b.and_(7, 6, imm=1)
+    b.bnez(7, "odd")                             # branch on the missing data
+    b.add(8, 8, 6)
+    b.jmp("join")
+    b.label("odd")
+    b.sub(8, 8, 6)
+    b.label("join")
+    emit_filler(b, 78)                           # fat search-loop body
+    b.add(4, 4, imm=1)
+    b.and_(4, 4, imm=table_entries - 1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return Workload(
+        name="astar", program=b.build(), memory=memory,
+        max_uops=int(iters * 95 + 100),
+        description="random-index gather + hard branch (paper Fig. 2)")
+
+
+def build_soplex(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """soplex: sparse-matrix traversal. Row lengths are data-dependent
+    (inner-loop branch mispredicts); column gathers x[col] miss the LLC."""
+    rng = make_rng(seed)
+    rows = scaled(1500, scale)
+    cols_entries = 1 << 16
+    x_words = 1 << 20
+    memory = {}
+    fill_random_words(memory, INDEX_REGION, cols_entries, x_words, rng)
+    for i in range(4096):
+        memory[TABLE_REGION + i * 8] = 1 + rng.randrange(5)   # row length
+
+    b = ProgramBuilder()
+    b.movi(1, rows)
+    b.movi(2, TABLE_REGION)
+    b.movi(3, INDEX_REGION)
+    b.movi(4, BIG_REGION)
+    b.movi(5, 0)                                 # row
+    b.movi(6, 0)                                 # col cursor
+    b.label("row")
+    b.and_(7, 5, imm=4095)
+    b.load(8, base=2, index=7, scale=8)          # row length (1..5)
+    b.label("inner")
+    b.and_(9, 6, imm=cols_entries - 1)
+    b.load(10, base=3, index=9, scale=8)         # col index (streams)
+    b.load(11, base=4, index=10, scale=8)        # x[col]: LLC miss
+    b.fadd(12, 12, 11)
+    emit_filler(b, 20, fp=True)                  # per-element arithmetic
+    b.add(6, 6, imm=1)
+    b.sub(8, 8, imm=1)
+    b.bnez(8, "inner")                           # data-dependent trip count
+    emit_filler(b, 10, fp=True)
+    b.add(5, 5, imm=1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "row")
+    b.halt()
+    return Workload(
+        name="soplex", program=b.build(), memory=memory,
+        max_uops=int(rows * 45 + 100),
+        description="CSR-style gather with data-dependent trip counts")
+
+
+def build_milc(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """milc: lattice-QCD-like gather at register-computed pseudo-random
+    sites. The critical chain is a handful of ALU uops plus the load —
+    very sparse — inside a fat FP body: CDF's ideal density."""
+    iters = scaled(1100, scale)
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(3, BIG_REGION)
+    b.movi(7, 0x9E3779B9)                        # xorshift state
+    b.label("loop")
+    # xorshift: the (critical) address chain
+    b.shl(8, 7, imm=13)
+    b.xor(7, 7, 8)
+    b.shr(8, 7, imm=7)
+    b.xor(7, 7, 8)
+    b.shl(8, 7, imm=17)
+    b.xor(7, 7, 8)
+    b.and_(9, 7, imm=(1 << 20) - 8)              # 8 MB site footprint
+    b.load(10, base=3, index=9, scale=8)         # site load: LLC miss
+    b.fadd(11, 11, 10)
+    emit_filler(b, 40, fp=True)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return Workload(
+        name="milc", program=b.build(), memory={},
+        max_uops=int(iters * 55 + 100),
+        description="register-computed random gather in a fat FP body")

@@ -1,0 +1,93 @@
+"""Intermediate-density kernels: leslie3d, sphinx, wrf, parest.
+
+The paper's 'neither helps much' family: critical densities between the
+sparse-chain and dense-stencil regimes, partially prefetchable access
+patterns, and moderate branch behaviour. Expected result: CDF and PRE
+within a couple of percent of the baseline.
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import (
+    BIG_REGION,
+    DEFAULT_SEED,
+    INDEX_REGION,
+    Workload,
+    emit_filler,
+    fill_random_words,
+    make_rng,
+    scaled,
+)
+
+
+def _mixed_kernel(name: str, iters_base: int, stream_loads: int,
+                  gather_every: int, filler: int, chain_alu: int,
+                  scale: float, seed: int) -> Workload:
+    """Shared shape: prefetchable streams every iteration, a random
+    gather every ``gather_every`` iterations, and a chain of ALU work
+    feeding the gather address (raising critical density)."""
+    rng = make_rng(seed)
+    iters = scaled(iters_base, scale)
+    memory = {}
+    fill_random_words(memory, INDEX_REGION, 1 << 14, (1 << 20) - 1, rng)
+
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, BIG_REGION)
+    b.movi(3, INDEX_REGION)
+    b.movi(4, BIG_REGION + (32 << 20))
+    b.movi(5, 0)
+    b.movi(15, 0)                               # loop-carried gather value
+    b.label("loop")
+    for s in range(stream_loads):
+        b.load(7 + s, base=2, index=5, scale=8, imm=s * 8)
+    b.fadd(11, 7, 7 + stream_loads - 1)
+    b.and_(12, 5, imm=gather_every - 1)
+    b.bnez(12, "no_gather")
+    # The gather index mixes the *previous* gather's value: successive
+    # misses are serially dependent, so extra window exposes no MLP -
+    # the paper's 'intermediate' benchmarks where neither technique wins.
+    b.add(13, 15, 5)
+    for _ in range(chain_alu):                  # address chain (critical)
+        b.xor(13, 13, imm=0x5A5)
+        b.and_(13, 13, imm=(1 << 14) - 1)
+    b.load(14, base=3, index=13, scale=8)       # index table
+    b.load(15, base=4, index=14, scale=8)       # gather: LLC miss
+    b.fadd(11, 11, 15)
+    b.label("no_gather")
+    emit_filler(b, filler, fp=True)
+    b.add(5, 5, imm=1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    body = stream_loads + filler + chain_alu // gather_every + 10
+    return Workload(
+        name=name, program=b.build(), memory=memory,
+        max_uops=int(iters * (body + chain_alu + 8) + 100),
+        description=(f"{stream_loads} streams + gather every "
+                     f"{gather_every} iters (intermediate density)"))
+
+
+def build_leslie3d(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _mixed_kernel("leslie3d", iters_base=1800, stream_loads=3,
+                         gather_every=4, filler=8, chain_alu=6,
+                         scale=scale, seed=seed)
+
+
+def build_sphinx(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _mixed_kernel("sphinx", iters_base=2000, stream_loads=2,
+                         gather_every=8, filler=10, chain_alu=8,
+                         scale=scale, seed=seed + 1)
+
+
+def build_wrf(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _mixed_kernel("wrf", iters_base=1700, stream_loads=4,
+                         gather_every=4, filler=6, chain_alu=5,
+                         scale=scale, seed=seed + 2)
+
+
+def build_parest(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _mixed_kernel("parest", iters_base=1400, stream_loads=2,
+                         gather_every=1, filler=10, chain_alu=12,
+                         scale=scale, seed=seed + 3)

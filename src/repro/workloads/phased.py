@@ -1,0 +1,109 @@
+"""Multi-phase workloads for the SimPoint-methodology study.
+
+The paper's 'Note on PRE Results' (Sec. 4.2) explains why its PRE numbers
+are lower than prior work's: 'we used up to five SimPoints per benchmark,
+whereas all prior work on Runahead (including PRE) uses only a single
+SimPoint. Some SimPoints are not memory intensive and can provide neutral
+or even negative benefits.'
+
+These builders create two-phase programs — a memory-intensive gather
+phase followed by a compute phase — plus each phase in isolation, so the
+harness can compare 'single memory-intensive SimPoint' evaluation (the
+prior-work methodology) against whole-program evaluation (this paper's).
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import (
+    BIG_REGION,
+    DEFAULT_SEED,
+    INDEX_REGION,
+    Workload,
+    emit_filler,
+    make_rng,
+    scaled,
+)
+
+
+def _emit_memory_phase(b: ProgramBuilder, iters: int,
+                       table_entries: int) -> None:
+    """astar-style random gather loop (the memory-intensive SimPoint)."""
+    b.movi(1, iters)
+    b.movi(2, INDEX_REGION)
+    b.movi(3, BIG_REGION)
+    b.movi(4, 0)
+    b.label("mem_loop")
+    b.load(5, base=2, index=4, scale=8)
+    b.load(6, base=3, index=5, scale=8)       # LLC miss
+    b.add(7, 7, 6)
+    emit_filler(b, 40)
+    b.add(4, 4, imm=1)
+    b.and_(4, 4, imm=table_entries - 1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "mem_loop")
+
+
+def _emit_compute_phase(b: ProgramBuilder, iters: int) -> None:
+    """Cache-resident arithmetic loop (the non-memory SimPoint)."""
+    b.movi(1, iters)
+    b.label("compute_loop")
+    b.movi(8, 23)
+    b.fmul(8, 8, imm=5)
+    b.fadd(9, 9, 8)
+    emit_filler(b, 30, fp=True)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "compute_loop")
+
+
+def _finish(b: ProgramBuilder, name: str, memory, iters_hint: int,
+            description: str) -> Workload:
+    b.halt()
+    return Workload(name=name, program=b.build(), memory=memory,
+                    max_uops=iters_hint, description=description,
+                    warmup_fraction=0.05)
+
+
+def _gather_memory(rng, table_entries):
+    memory = {}
+    targets = [rng.randrange(1 << 20) for _ in range(table_entries)]
+    for i, t in enumerate(targets):
+        memory[INDEX_REGION + i * 8] = t
+    return memory
+
+
+def build_phased(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """Both phases back to back: the 'all SimPoints' program."""
+    rng = make_rng(seed)
+    table_entries = 1 << 14
+    mem_iters = scaled(450, scale)
+    compute_iters = scaled(1800, scale)
+    b = ProgramBuilder()
+    _emit_memory_phase(b, mem_iters, table_entries)
+    _emit_compute_phase(b, compute_iters)
+    return _finish(b, "phased", _gather_memory(rng, table_entries),
+                   mem_iters * 50 + compute_iters * 40 + 200,
+                   "memory phase + compute phase (5-SimPoint analogue)")
+
+
+def build_phased_memory_only(scale: float = 1.0,
+                             seed: int = DEFAULT_SEED) -> Workload:
+    """Just the memory phase: the 'single SimPoint' prior-work pick."""
+    rng = make_rng(seed)
+    table_entries = 1 << 14
+    mem_iters = scaled(450, scale)
+    b = ProgramBuilder()
+    _emit_memory_phase(b, mem_iters, table_entries)
+    return _finish(b, "phased_memory", _gather_memory(rng, table_entries),
+                   mem_iters * 50 + 200,
+                   "memory phase only (single-SimPoint analogue)")
+
+
+def build_phased_compute_only(scale: float = 1.0,
+                              seed: int = DEFAULT_SEED) -> Workload:
+    """Just the compute phase (a SimPoint with nothing to accelerate)."""
+    compute_iters = scaled(1800, scale)
+    b = ProgramBuilder()
+    _emit_compute_phase(b, compute_iters)
+    return _finish(b, "phased_compute", {}, compute_iters * 40 + 200,
+                   "compute phase only (non-memory SimPoint)")

@@ -1,0 +1,115 @@
+"""Kernels dominated by distant or branch-shaped criticality: nab, bzip.
+
+nab: LLC misses more than a thousand uops apart and serially dependent —
+no MLP is extractable by anyone; CDF wins only by *initiating* the next
+miss earlier (paper Sec. 2.3). PRE cannot reach the next chain within its
+runahead budget.
+
+bzip: almost cache-resident, dominated by hard data-dependent branches;
+CDF's benefit comes from resolving them early (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import (
+    BIG_REGION,
+    DEFAULT_SEED,
+    TABLE_REGION,
+    Workload,
+    emit_filler,
+    fill_bits,
+    make_rng,
+    scaled,
+)
+
+
+def build_nab(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """nab: molecular-dynamics-like. One serially dependent pointer hop
+    per ~600-uop body of floating-point work."""
+    rng = make_rng(seed)
+    iters = scaled(110, scale)
+    # Lay out the dependent chain: each node's value is the address of
+    # the next, at random offsets in a 32 MB region.
+    memory = {}
+    addr = BIG_REGION
+    used = {addr}
+    chain = [addr]
+    for _ in range(iters + 4):
+        nxt = BIG_REGION + rng.randrange(1 << 22) * 8
+        while nxt in used:
+            nxt = BIG_REGION + rng.randrange(1 << 22) * 8
+        used.add(nxt)
+        memory[addr] = nxt
+        addr = nxt
+        chain.append(addr)
+
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(7, BIG_REGION)
+    b.label("loop")
+    b.load(8, base=7)                        # the distant dependent miss
+    # Address post-processing: a serial chain that keeps the slice above
+    # CDF's 2% density gate (force-field table index arithmetic).
+    b.xor(9, 8, imm=0)
+    for _ in range(11):
+        b.add(9, 9, imm=13)
+        b.sub(9, 9, imm=13)
+    b.mov(7, 9)                              # next pointer
+    b.fadd(12, 12, 8)
+    emit_filler(b, 560, fp=True)             # the force-field arithmetic
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return Workload(
+        name="nab", program=b.build(), memory=memory,
+        max_uops=int(iters * 620 + 100),
+        description="dependent miss every ~600 uops (no extractable MLP)",
+        warmup_fraction=0.35)
+
+
+def build_bzip(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    """bzip: Huffman-style bit twiddling. Branch direction follows random
+    table bits; the working set is cache resident. The rare (1/64) big
+    gather keeps the CCT populated without making it memory bound."""
+    rng = make_rng(seed)
+    iters = scaled(2200, scale)
+    bits = 2048
+    memory = {}
+    fill_bits(memory, TABLE_REGION, bits, 0.5, rng)
+
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, TABLE_REGION)
+    b.movi(3, BIG_REGION)
+    b.movi(4, 0)
+    b.movi(14, 0x12345)
+    b.label("loop")
+    b.and_(5, 4, imm=bits - 1)
+    b.load(6, base=2, index=5, scale=8)      # table bit (L1 resident)
+    b.bnez(6, "one")                         # hard branch (50/50)
+    b.add(7, 7, imm=2)
+    b.shl(8, 7, imm=1)
+    b.jmp("merge")
+    b.label("one")
+    b.sub(7, 7, imm=1)
+    b.shr(8, 7, imm=1)
+    b.label("merge")
+    b.and_(9, 4, imm=63)
+    b.bnez(9, "no_miss")
+    # every 64th iteration: a random gather that misses
+    b.shl(10, 14, imm=13)
+    b.xor(14, 14, 10)
+    b.and_(11, 14, imm=(1 << 20) - 1)
+    b.load(12, base=3, index=11, scale=8)
+    b.add(7, 7, 12)
+    b.label("no_miss")
+    emit_filler(b, 12)
+    b.add(4, 4, imm=1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return Workload(
+        name="bzip", program=b.build(), memory=memory,
+        max_uops=int(iters * 30 + 100),
+        description="hard 50/50 branches on cache-resident bits")

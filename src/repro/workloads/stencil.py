@@ -1,0 +1,91 @@
+"""Dense-stencil kernels: zeusmp, GemsFDTD, fotonik3d, roms.
+
+Large-stride grid sweeps whose address generation is a long ALU chain per
+access: the backward slices of the missing loads cover most of the loop
+body. That density means CDF has almost nothing to skip (its >50% density
+gate typically keeps it out entirely: 'the critical instructions are not
+sparse enough'), while PRE — which has no such gate — prefetches the next
+sweep points during the frequent long stalls. This is the benchmark
+family where the paper reports PRE >= CDF.
+
+Strides of >= 65 cache lines hop prefetcher regions every access, so the
+stream prefetcher never trains and every grid access is a demand miss.
+"""
+
+from __future__ import annotations
+
+from ..isa import ProgramBuilder
+from .base import BIG_REGION, DEFAULT_SEED, Workload, emit_filler, scaled
+
+
+def _emit_address_chain(b: ProgramBuilder, dst: int, counter: int,
+                        stride_words: int, salt: int, length: int) -> None:
+    """A serial ALU chain computing ``counter * stride_words`` the long
+    way round; every uop is on the load's backward slice."""
+    b.mov(dst, counter)
+    for step in range(length):
+        if step % 4 == 0:
+            b.xor(dst, dst, imm=salt)
+        elif step % 4 == 1:
+            b.add(dst, dst, imm=salt & 0xFF)
+        elif step % 4 == 2:
+            b.sub(dst, dst, imm=salt & 0xFF)
+        else:
+            b.xor(dst, dst, imm=salt)
+    b.mul(dst, dst, imm=stride_words)
+
+
+def _build_stencil(name: str, streams: int, stride_lines: int,
+                   chain_length: int, fp_tail: int, iters_base: int,
+                   scale: float) -> Workload:
+    iters = scaled(iters_base, scale)
+    stride_words = stride_lines * 8
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    for s in range(streams):
+        b.movi(2 + s, BIG_REGION + s * (64 << 20))
+    b.movi(10, 0)                                  # i
+    b.label("loop")
+    for s in range(streams):
+        _emit_address_chain(b, 11, counter=10, stride_words=stride_words,
+                            salt=0x155 + 64 * s, length=chain_length)
+        b.load(12 + s, base=2 + s, index=11, scale=8)   # grid load (miss)
+    acc = 12 + streams
+    b.fadd(acc, 12, 13 if streams > 1 else 12)
+    emit_filler(b, fp_tail, fp=True)
+    b.add(10, 10, imm=1)
+    b.and_(10, 10, imm=(1 << 14) - 1)              # wrap the sweep
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    body = streams * (chain_length + 2) + fp_tail + 6
+    return Workload(
+        name=name, program=b.build(), memory={},
+        max_uops=int(iters * (body + 6) + 100),
+        description=(f"{streams}-stream stride-{stride_lines}-line sweep, "
+                     f"{chain_length}-uop address chains (dense slices)"))
+
+
+def build_zeusmp(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _build_stencil("zeusmp", streams=2, stride_lines=65,
+                          chain_length=16, fp_tail=10, iters_base=900,
+                          scale=scale)
+
+
+def build_gemsfdtd(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _build_stencil("GemsFDTD", streams=2, stride_lines=67,
+                          chain_length=20, fp_tail=8, iters_base=800,
+                          scale=scale)
+
+
+def build_fotonik3d(scale: float = 1.0,
+                    seed: int = DEFAULT_SEED) -> Workload:
+    return _build_stencil("fotonik3d", streams=2, stride_lines=129,
+                          chain_length=14, fp_tail=12, iters_base=950,
+                          scale=scale)
+
+
+def build_roms(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
+    return _build_stencil("roms", streams=3, stride_lines=97,
+                          chain_length=15, fp_tail=8, iters_base=700,
+                          scale=scale)

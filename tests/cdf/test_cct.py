@@ -1,0 +1,95 @@
+"""Unit tests for the Critical Count Tables."""
+
+import pytest
+
+from repro.config import CDFConfig
+from repro.cdf import CriticalCountTable, make_branch_cct, make_load_cct
+
+
+def make_table(**kw):
+    defaults = dict(entries=8, ways=2, strict_max=15, strict_threshold=12,
+                    permissive_max=7, permissive_threshold=4)
+    defaults.update(kw)
+    return CriticalCountTable(**defaults)
+
+
+def test_entries_must_divide_ways():
+    with pytest.raises(ValueError):
+        make_table(entries=7, ways=2)
+
+
+def test_unknown_pc_is_not_critical():
+    t = make_table()
+    assert not t.is_critical(0x40)
+    assert t.counters_for(0x40) is None
+
+
+def test_permissive_marks_before_strict():
+    t = make_table()
+    pc = 0x10
+    for _ in range(4):
+        t.update(pc, True)
+    assert t.is_critical(pc, permissive=True)
+    assert not t.is_critical(pc, permissive=False)
+    for _ in range(8):
+        t.update(pc, True)
+    assert t.is_critical(pc, permissive=False)
+
+
+def test_counters_saturate():
+    t = make_table()
+    pc = 0x20
+    for _ in range(100):
+        t.update(pc, True)
+    strict, permissive = t.counters_for(pc)
+    assert strict == 15
+    assert permissive == 7
+
+
+def test_misses_then_hits_decays():
+    t = make_table()
+    pc = 0x30
+    for _ in range(15):
+        t.update(pc, True)
+    assert t.is_critical(pc)
+    for _ in range(8):
+        t.update(pc, False)
+    assert not t.is_critical(pc)      # strict fell below 12
+    strict, permissive = t.counters_for(pc)
+    assert strict == 7 and permissive == 0
+
+
+def test_no_allocation_on_non_critical_event():
+    t = make_table()
+    t.update(0x50, False)
+    assert t.counters_for(0x50) is None
+
+
+def test_lru_eviction_within_set():
+    t = make_table(entries=2, ways=2)   # one set
+    t.update(0, True)
+    t.update(2, True)
+    t.update(0, True)    # refresh pc 0
+    t.update(4, True)    # evicts pc 2
+    assert t.counters_for(2) is None
+    assert t.counters_for(0) is not None
+    assert t.evictions == 1
+
+
+def test_factories_use_config_geometry():
+    cfg = CDFConfig()
+    loads = make_load_cct(cfg)
+    branches = make_branch_cct(cfg)
+    assert loads.num_sets * loads.ways == cfg.cct_entries
+    assert branches.num_sets * branches.ways == cfg.branch_table_entries
+    # Branch thresholds differ from load thresholds, per Sec. 3.2.
+    assert branches.strict_threshold != loads.strict_threshold
+
+
+def test_interleaved_pcs_tracked_independently():
+    t = make_table(entries=8, ways=2)
+    for _ in range(15):
+        t.update(1, True)
+        t.update(3, False)
+    assert t.is_critical(1)
+    assert not t.is_critical(3)

@@ -1,0 +1,97 @@
+"""Focused tests for CDF mode entry/exit and partition lifecycle."""
+
+import pytest
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness import load_workload
+
+
+@pytest.fixture(scope="module")
+def astar():
+    workload = load_workload("astar", 0.25)
+    return workload, workload.trace()
+
+
+def run_cdf(astar, **cdf_overrides):
+    workload, trace = astar
+    config = SimConfig.with_cdf()
+    for key, value in cdf_overrides.items():
+        setattr(config.cdf, key, value)
+    pipeline = CDFPipeline(trace, config, workload.program)
+    result = pipeline.run()
+    return pipeline, result
+
+
+def test_mode_needs_a_filled_uop_cache(astar):
+    # With an impossibly-high fill latency, traces never become visible
+    # and CDF never engages.
+    _, result = run_cdf(astar, fill_latency_cycles=10_000_000)
+    assert result.counters["cdf_mode_entries"] == 0
+    assert result.counters["crit_fetch_uops"] == 0
+
+
+def test_entries_and_exits_balance(astar):
+    pipeline, result = run_cdf(astar)
+    entries = result.counters["cdf_mode_entries"]
+    exits = result.counters["cdf_mode_exits"]
+    assert entries >= 1
+    # The run can end while still in CDF mode: at most one unbalanced.
+    assert entries - exits in (0, 1)
+    assert (entries - exits == 1) == pipeline.cdf_mode
+
+
+def test_partitions_drain_after_the_run(astar):
+    pipeline, _ = run_cdf(astar)
+    assert len(pipeline.rob_crit) == 0
+    assert pipeline.lq_crit_used == 0
+    assert pipeline.sq_crit_used == 0
+    assert pipeline.writers_crit == 0
+
+
+def test_extra_rename_stage_costs_cycles(astar):
+    _, with_stage = run_cdf(astar, extra_rename_stage=True)
+    _, without = run_cdf(astar, extra_rename_stage=False)
+    # Removing the worst-case extra stage can only help (or tie).
+    assert without.cycles <= with_stage.cycles * 1.01
+
+
+def test_tiny_uop_cache_limits_cdf(astar):
+    _, big = run_cdf(astar)
+    _, tiny = run_cdf(astar, uop_cache_entries=4, uop_cache_ways=2)
+    assert tiny.counters["cdf_mode_cycles"] <= \
+        big.counters["cdf_mode_cycles"]
+
+
+def test_small_dbq_throttles_critical_lookahead(astar):
+    _, wide = run_cdf(astar)
+    _, narrow = run_cdf(astar, delayed_branch_queue_entries=2)
+    assert narrow.counters["crit_fetch_uops"] <= \
+        wide.counters["crit_fetch_uops"]
+    # Still correct.
+    assert narrow.retired_uops == wide.retired_uops
+
+
+def test_small_cmq_throttles_critical_lookahead(astar):
+    _, wide = run_cdf(astar)
+    _, narrow = run_cdf(astar, critical_map_queue_entries=4)
+    assert narrow.retired_uops == wide.retired_uops
+    assert narrow.ipc <= wide.ipc * 1.01
+
+
+def test_mode_cycles_bounded_by_total(astar):
+    _, result = run_cdf(astar)
+    assert 0 < result.counters["cdf_mode_cycles"] <= result.cycles
+
+
+def test_cdf_mode_uses_uop_cache_reads(astar):
+    _, result = run_cdf(astar)
+    assert result.counters["uop_cache_reads"] > 0
+    assert result.counters["dbq_pops"] > 0
+
+
+def test_disabled_branch_marking_blocks_fewer_critical_branches(astar):
+    _, with_branches = run_cdf(astar, mark_branches_critical=True)
+    _, without = run_cdf(astar, mark_branches_critical=False)
+    assert without.counters["crit_fetch_blocked_on_critical_branch"] == 0

@@ -1,0 +1,87 @@
+"""CDF over call/return-structured code (RAS + cross-procedure chains)."""
+
+import random
+
+import pytest
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import ProgramBuilder, execute
+from repro.runahead import PREPipeline
+
+
+def call_heavy_workload(iters=1200, seed=5):
+    """A loop calling a helper that performs the critical gather — the
+    critical chain spans the call boundary."""
+    rng = random.Random(seed)
+    table = 1 << 13
+    memory = {(1 << 24) + i * 8: rng.randrange(1 << 20)
+              for i in range(table)}
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, 1 << 24)
+    b.movi(3, 1 << 26)
+    b.movi(4, 0)
+    b.label("loop")
+    b.call("gather")
+    b.add(8, 8, 6)
+    for _ in range(8):
+        b.movi(20, 3)
+        b.add(20, 20, imm=1)
+    b.add(4, 4, imm=1)
+    b.and_(4, 4, imm=table - 1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    b.label("gather")
+    b.load(5, base=2, index=4, scale=8)
+    b.load(6, base=3, index=5, scale=8)    # the LLC miss
+    b.ret()
+    program = b.build()
+    return program, execute(program, memory, max_uops=300_000)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    program, trace = call_heavy_workload()
+    base = BaselinePipeline(trace, SimConfig.baseline()).run()
+    cdf_pipe = CDFPipeline(trace, SimConfig.with_cdf(), program)
+    cdf = cdf_pipe.run()
+    pre = PREPipeline(trace, SimConfig.with_pre(), program).run()
+    return program, trace, base, cdf, pre, cdf_pipe
+
+
+def test_all_cores_complete_call_heavy_code(runs):
+    _, trace, base, cdf, pre, _ = runs
+    assert base.retired_uops == len(trace)
+    assert cdf.retired_uops == len(trace)
+    assert pre.retired_uops == len(trace)
+
+
+def test_cdf_engages_across_call_boundaries(runs):
+    _, _, _, cdf, _, pipe = runs
+    assert cdf.counters["cdf_mode_entries"] > 0
+    assert cdf.counters["crit_fetch_uops"] > 0
+    assert not pipe.critically_fetched
+
+
+def test_cdf_accounting_balances_with_calls(runs):
+    _, _, _, cdf, _, _ = runs
+    assert cdf.counters["crit_rename_uops"] == (
+        cdf.counters["replayed_uops"]
+        + cdf.counters["violation_flushed_uops"])
+
+
+def test_returns_predicted_by_ras(runs):
+    _, trace, base, _, _, _ = runs
+    rets = sum(1 for u in trace if u.is_branch and not u.is_cond_branch
+               and not u.taken is False and u.pc == max(x.pc for x in trace))
+    # The RAS should make call/ret control flow essentially free.
+    mpki = 1000 * base.counters["branch_mispredicts"] / base.retired_uops
+    assert mpki < 5
+
+
+def test_cdf_not_slower_than_baseline_on_calls(runs):
+    _, _, base, cdf, _, _ = runs
+    assert cdf.ipc > base.ipc * 0.97

@@ -1,0 +1,157 @@
+"""Unit tests for the Fill Buffer backwards dataflow walk.
+
+The running example mirrors the paper's Fig. 5: a loop whose critical
+load's chain must be discovered by walking register and memory
+dependences backwards from the root.
+"""
+
+import pytest
+
+from repro.cdf import FillBuffer, FillBufferEntry
+
+
+def entry(seq, pc, bb=0, dst=None, srcs=(), mem=None, load=False,
+          store=False, branch=False, root=False):
+    return FillBufferEntry(seq=seq, pc=pc, bb_start=bb, dst=dst, srcs=srcs,
+                           mem_addr=mem, is_load=load, is_store=store,
+                           is_branch=branch, root_critical=root)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FillBuffer(0)
+
+
+def test_fifo_keeps_last_capacity_entries():
+    fb = FillBuffer(4)
+    for i in range(10):
+        fb.record(entry(i, i))
+    assert len(fb) == 4
+    result = fb.walk()
+    assert result.total == 4
+
+
+def test_root_marks_its_register_chain():
+    # I0: r0 <- r0 - 1      (critical: feeds address)
+    # I1: r4 <- r4 + 1      (non-critical)
+    # I2: r1 <- [r3 + r0]   (root critical load)
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=0, srcs=(0,)))
+    fb.record(entry(1, 1, dst=4, srcs=(4,)))
+    fb.record(entry(2, 2, dst=1, srcs=(3, 0), mem=100, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [True, False, True]
+    assert result.marked == 2
+
+
+def test_memory_dependence_marks_store_and_its_chain():
+    # I0: r5 <- r6 + 1
+    # I1: [200] <- r5      (store feeding the critical load)
+    # I2: r1 <- [200]      (root critical load)
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=5, srcs=(6,)))
+    fb.record(entry(1, 1, dst=None, srcs=(5, 2), mem=200, store=True))
+    fb.record(entry(2, 2, dst=1, srcs=(2,), mem=200, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [True, True, True]
+
+
+def test_unrelated_store_not_marked():
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=None, srcs=(5,), mem=300, store=True))
+    fb.record(entry(1, 1, dst=1, srcs=(2,), mem=200, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [False, True]
+
+
+def test_dst_overwrite_cuts_the_chain():
+    # Walking backwards: the younger write to r0 satisfies the need; the
+    # older producer of r0 must NOT be marked.
+    # I0: r0 <- r9 + 1     (older producer; overwritten before use)
+    # I1: r0 <- r8 + 1     (actual producer)
+    # I2: r1 <- [r0]       (root)
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=0, srcs=(9,)))
+    fb.record(entry(1, 1, dst=0, srcs=(8,)))
+    fb.record(entry(2, 2, dst=1, srcs=(0,), mem=100, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [False, True, True]
+
+
+def test_multiple_roots_union_their_chains():
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=1, srcs=()))                      # feeds root A
+    fb.record(entry(1, 1, dst=2, srcs=()))                      # feeds root B
+    fb.record(entry(2, 2, dst=3, srcs=(1,), mem=8, load=True, root=True))
+    fb.record(entry(3, 3, dst=4, srcs=(2,), mem=16, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [True, True, True, True]
+
+
+def test_bb_masks_have_bits_at_block_offsets():
+    # Two uops in block starting at pc 10; only the second is critical.
+    fb = FillBuffer(8)
+    fb.record(entry(0, 10, bb=10, dst=7, srcs=()))
+    fb.record(entry(1, 11, bb=10, dst=1, srcs=(3,), mem=8, load=True,
+                    root=True))
+    result = fb.walk()
+    assert result.bb_masks[10] == 0b10
+
+
+def test_prior_masks_accumulate_other_paths():
+    # The uop at pc 5 is not on this walk's chain, but a prior mask says
+    # it was critical on another path: it must stay marked.
+    fb = FillBuffer(8)
+    fb.record(entry(0, 5, bb=5, dst=9, srcs=(9,)))
+    fb.record(entry(1, 6, bb=5, dst=1, srcs=(3,), mem=8, load=True,
+                    root=True))
+    result = fb.walk(prior_masks={5: 0b01})
+    assert result.critical_flags == [True, True]
+    assert result.bb_masks[5] == 0b11
+
+
+def test_prior_marked_uop_propagates_its_sources():
+    # Pre-marking I1 (via prior mask) must pull I0 into the chain.
+    fb = FillBuffer(8)
+    fb.record(entry(0, 4, bb=4, dst=2, srcs=()))
+    fb.record(entry(1, 5, bb=4, dst=3, srcs=(2,)))
+    result = fb.walk(prior_masks={4: 0b10})
+    assert result.critical_flags == [True, True]
+
+
+def test_branch_root_marks_condition_chain():
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=1, srcs=(1,)))               # condition chain
+    fb.record(entry(1, 1, srcs=(1,), branch=True, root=True))
+    result = fb.walk()
+    assert result.critical_flags == [True, True]
+    assert result.bb_ends_in_branch[0] is True
+
+
+def test_masks_support_blocks_longer_than_64_uops():
+    fb = FillBuffer(256)
+    # 70 uops in one block; the last one is a critical root.
+    for i in range(70):
+        fb.record(entry(i, i, bb=0, dst=1, srcs=(1,) if i else ()))
+    fb.record(entry(70, 70, bb=0, dst=2, srcs=(1,), mem=8, load=True,
+                    root=True))
+    result = fb.walk()
+    assert result.critical_flags[-1]
+    assert result.bb_masks[0] >> 70 & 1
+    assert result.bb_masks[0] >> 69 & 1   # chain through r1
+
+
+def test_critical_fraction():
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=9, srcs=()))
+    fb.record(entry(1, 1, dst=1, srcs=(3,), mem=8, load=True, root=True))
+    result = fb.walk()
+    assert result.critical_fraction == pytest.approx(0.5)
+
+
+def test_clear():
+    fb = FillBuffer(8)
+    fb.record(entry(0, 0, dst=1, srcs=()))
+    fb.clear()
+    assert len(fb) == 0
+    assert not fb.full

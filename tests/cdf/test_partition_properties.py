@@ -1,0 +1,59 @@
+"""Property-based tests for dynamic partitioning invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import CDFConfig
+from repro.cdf import PartitionController, PartitionedResource
+
+_EVENTS = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=12)),
+    min_size=1, max_size=200)
+
+
+@given(_EVENTS)
+@settings(max_examples=100, deadline=None)
+def test_partition_invariants_under_any_stall_sequence(events):
+    resource = PartitionedResource("rob", total=352, critical_size=176,
+                                   step=8, min_critical=8,
+                                   min_noncritical=32)
+    for critical, weight in events:
+        resource.note_stall(critical, weight)
+        resource.rebalance(threshold=4)
+        # Invariants hold after every adjustment.
+        assert resource.critical_size + resource.noncritical_size == 352
+        assert resource.critical_size >= resource.min_critical
+        assert resource.noncritical_size >= resource.min_noncritical
+
+
+@given(_EVENTS)
+@settings(max_examples=60, deadline=None)
+def test_decay_and_reentry_stay_in_bounds(events):
+    cfg = CDFConfig()
+    controller = PartitionController(cfg, 352, 128, 72, 160)
+    for i, (critical, weight) in enumerate(events):
+        if i % 7 == 6:
+            controller.decay_all()
+        elif i % 11 == 10:
+            controller.on_mode_entry()
+        else:
+            controller.rob.note_stall(critical, weight)
+            controller.lq.note_stall(not critical, weight)
+            controller.rebalance_all()
+        for res in (controller.rob, controller.lq, controller.sq):
+            assert 0 <= res.critical_size <= res.total
+            assert res.noncritical_size >= 0
+        assert 0 < controller.rs_critical_size <= 160
+
+
+@given(st.integers(min_value=16, max_value=1024))
+@settings(max_examples=40, deadline=None)
+def test_controller_scales_to_any_core_size(rob_size):
+    cfg = CDFConfig()
+    controller = PartitionController(cfg, rob_size,
+                                     max(8, rob_size // 3),
+                                     max(8, rob_size // 5), 160)
+    assert controller.rob.critical_size + controller.rob.noncritical_size \
+        == rob_size
+    controller.on_mode_entry()
+    assert controller.rob.noncritical_size >= 0

@@ -1,0 +1,153 @@
+"""Unit tests for the CDF FIFOs and the dynamic partition controller."""
+
+import pytest
+
+from repro.config import CDFConfig
+from repro.cdf import (
+    CMQEntry,
+    CriticalMapQueue,
+    DBQEntry,
+    DelayedBranchQueue,
+    PartitionController,
+    PartitionedResource,
+)
+
+
+# -------------------------------------------------------------------- FIFOs
+def test_dbq_fifo_order():
+    q = DelayedBranchQueue(4)
+    q.push(DBQEntry(1, True, False, False))
+    q.push(DBQEntry(2, False, True, True))
+    assert q.peek().seq == 1
+    assert q.pop().seq == 1
+    assert q.pop().seq == 2
+    assert q.empty
+
+
+def test_dbq_overflow_and_underflow():
+    q = DelayedBranchQueue(1)
+    q.push(DBQEntry(1, True, False, False))
+    assert q.full
+    with pytest.raises(RuntimeError, match="overflow"):
+        q.push(DBQEntry(2, True, False, False))
+    q.pop()
+    with pytest.raises(RuntimeError, match="underflow"):
+        q.pop()
+
+
+def test_program_order_flush():
+    q = CriticalMapQueue(8)
+    for seq in (1, 5, 9, 12):
+        q.push(CMQEntry(seq, 0))
+    dropped = q.flush_younger_than(9)
+    assert dropped == 2
+    assert [e.seq for e in list(q._q)] == [1, 5]
+    assert q.flushed_entries == 2
+
+
+def test_flush_with_no_matches():
+    q = CriticalMapQueue(8)
+    q.push(CMQEntry(1, 0))
+    assert q.flush_younger_than(100) == 0
+    assert len(q) == 1
+
+
+def test_clear_counts_flushed():
+    q = DelayedBranchQueue(8)
+    q.push(DBQEntry(1, True, False, False))
+    q.push(DBQEntry(2, True, False, False))
+    q.clear()
+    assert q.empty
+    assert q.flushed_entries == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DelayedBranchQueue(0)
+
+
+# ---------------------------------------------------------------- partitions
+def make_resource(total=64, critical=32, step=8):
+    return PartitionedResource("rob", total, critical, step,
+                               min_critical=8, min_noncritical=16)
+
+
+def test_partition_sizes_sum():
+    r = make_resource()
+    assert r.critical_size + r.noncritical_size == r.total
+
+
+def test_grow_on_critical_stall_imbalance():
+    r = make_resource()
+    for _ in range(4):
+        r.note_stall(critical=True)
+    change = r.rebalance(threshold=4)
+    assert change == 8
+    assert r.critical_size == 40
+    assert r.grows == 1
+    # counters reset after a change
+    assert r.critical_stall_cycles == 0
+
+
+def test_shrink_on_noncritical_stall_imbalance():
+    r = make_resource()
+    for _ in range(4):
+        r.note_stall(critical=False)
+    change = r.rebalance(threshold=4)
+    assert change == -8
+    assert r.critical_size == 24
+    assert r.shrinks == 1
+
+
+def test_no_change_below_threshold():
+    r = make_resource()
+    r.note_stall(critical=True)
+    assert r.rebalance(threshold=4) == 0
+
+
+def test_bounds_respected():
+    r = make_resource(total=64, critical=48)
+    for _ in range(100):
+        r.note_stall(critical=True, weight=10)
+        r.rebalance(threshold=4)
+    assert r.noncritical_size >= r.min_noncritical
+    r2 = make_resource(critical=8)
+    for _ in range(100):
+        r2.note_stall(critical=False, weight=10)
+        r2.rebalance(threshold=4)
+    assert r2.critical_size >= r2.min_critical
+
+
+def test_decay_releases_to_floor():
+    r = make_resource(critical=32)
+    for _ in range(20):
+        r.decay_toward_noncritical()
+    assert r.critical_size == 0
+
+
+def test_ensure_minimum():
+    r = make_resource(critical=8)
+    r.ensure_minimum(32)
+    assert r.critical_size == 32
+    r.ensure_minimum(1000)   # clamped by min_noncritical
+    assert r.noncritical_size >= r.min_noncritical
+
+
+def test_controller_uses_table1_steps():
+    cfg = CDFConfig()
+    ctl = PartitionController(cfg, rob_size=352, lq_size=128, sq_size=72,
+                              rs_size=160)
+    assert ctl.rob.step == 8      # ROB/RS step (Sec. 3.5)
+    assert ctl.lq.step == 2       # LQ/SQ step
+    assert ctl.sq.step == 2
+    assert 0 < ctl.rs_critical_size <= 160
+
+
+def test_controller_rs_share_follows_rob():
+    cfg = CDFConfig()
+    ctl = PartitionController(cfg, 352, 128, 72, 160)
+    before = ctl.rs_critical_size
+    for _ in range(4):
+        ctl.rob.note_stall(critical=True)
+    ctl.rebalance_all()
+    assert ctl.rs_critical_size > before

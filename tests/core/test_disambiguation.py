@@ -1,0 +1,105 @@
+"""Unit tests for the memory-disambiguation policies."""
+
+import pytest
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.harness import load_workload
+from repro.isa import ProgramBuilder, assemble, execute
+
+
+def store_then_loads_trace():
+    """A slow store address followed by independent loads: conservative
+    disambiguation must hold the loads; oracle lets them bypass."""
+    b = ProgramBuilder()
+    b.movi(1, 200)
+    b.movi(2, 1 << 16)
+    b.movi(3, 1 << 18)
+    b.label("loop")
+    b.movi(4, 5)
+    b.mul(5, 4, imm=7)        # slow-ish address chain for the store
+    b.mul(5, 5, imm=3)
+    b.div(5, 5, imm=21)
+    b.and_(5, 5, imm=1023)
+    b.store(4, base=2, index=5, scale=8)
+    b.load(6, base=3)          # independent loads behind the store
+    b.load(7, base=3, imm=64)
+    b.add(8, 6, 7)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def run_with(trace, policy):
+    config = SimConfig.baseline()
+    config.core.memory_disambiguation = policy
+    return BaselinePipeline(trace, config).run()
+
+
+def test_bad_policy_rejected():
+    config = SimConfig.baseline()
+    config.core.memory_disambiguation = "psychic"
+    with pytest.raises(ValueError, match="memory_disambiguation"):
+        BaselinePipeline([], config)
+
+
+def test_conservative_holds_loads_behind_stores():
+    trace = store_then_loads_trace()
+    oracle = run_with(trace, "oracle")
+    conservative = run_with(trace, "conservative")
+    assert conservative.counters["loads_held_by_stores"] > 0
+    assert oracle.counters["loads_held_by_stores"] == 0
+    assert conservative.cycles >= oracle.cycles
+    # Same architectural work either way.
+    assert conservative.retired_uops == oracle.retired_uops
+
+
+def test_forwarding_results_identical_across_policies():
+    trace = execute(assemble("""
+        movi r1, 4096
+        movi r2, 99
+        store r2, [r1]
+        load r3, [r1]
+        halt
+    """))
+    oracle = run_with(trace, "oracle")
+    conservative = run_with(trace, "conservative")
+    assert oracle.counters["store_forwards"] == 1
+    assert conservative.counters["store_forwards"] == 1
+
+
+def test_unissued_store_list_drains():
+    trace = store_then_loads_trace()
+    config = SimConfig.baseline()
+    config.core.memory_disambiguation = "conservative"
+    pipeline = BaselinePipeline(trace, config)
+    pipeline.run()
+    assert pipeline._unissued_stores == []
+
+
+def test_cdf_works_under_conservative_disambiguation():
+    workload = load_workload("libquantum", 0.3)
+    trace = workload.trace()
+    config = SimConfig.with_cdf()
+    config.core.memory_disambiguation = "conservative"
+    pipeline = CDFPipeline(trace, config, workload.program)
+    result = pipeline.run()
+    assert result.retired_uops == len(trace)
+    assert pipeline._unissued_stores == []
+
+
+def test_store_free_code_unaffected_by_policy():
+    b = ProgramBuilder()
+    b.movi(1, 300)
+    b.movi(2, 1 << 18)
+    b.label("loop")
+    b.load(3, base=2)
+    b.add(4, 4, 3)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    assert run_with(trace, "oracle").cycles == \
+        run_with(trace, "conservative").cycles

@@ -1,0 +1,79 @@
+"""Unit tests for execution-unit port arbitration."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import ProgramBuilder, execute
+
+
+def independent_ops_trace(kind: str, n: int = 1200):
+    b = ProgramBuilder()
+    b.movi(1, n // 6)
+    b.label("loop")
+    for reg in range(4, 10):
+        if kind == "fp":
+            b.fadd(reg, reg, imm=1)
+        elif kind == "muldiv":
+            b.mul(reg, reg, imm=3)
+        else:
+            b.add(reg, reg, imm=1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def run_with_ports(trace, **port_overrides):
+    cfg = SimConfig.baseline()
+    for key, value in port_overrides.items():
+        setattr(cfg.core, key, value)
+    return BaselinePipeline(trace, cfg).run()
+
+
+def test_fp_ports_bound_fp_throughput():
+    trace = independent_ops_trace("fp")
+    one_port = run_with_ports(trace, num_fp_ports=1)
+    four_ports = run_with_ports(trace, num_fp_ports=4)
+    assert four_ports.ipc > one_port.ipc * 1.5
+    # With one FP port, FP issue rate <= 1/cycle; 6 FP + 2 loop uops per
+    # iteration bounds IPC near (8 uops / 6 cycles).
+    assert one_port.ipc < 1.7
+
+
+def test_muldiv_ports_bound_multiplier_throughput():
+    trace = independent_ops_trace("muldiv")
+    one = run_with_ports(trace, num_muldiv_ports=1)
+    three = run_with_ports(trace, num_muldiv_ports=3)
+    assert three.ipc > one.ipc * 1.3
+
+
+def test_alu_ports_bound_integer_throughput():
+    trace = independent_ops_trace("alu")
+    two = run_with_ports(trace, num_alu_ports=2)
+    six = run_with_ports(trace, num_alu_ports=6)
+    assert six.ipc > two.ipc * 1.2
+    # 8 alu-class uops per iteration through 2 ports: <= 2 IPC.
+    assert two.ipc < 2.3
+
+
+def test_port_starved_uops_eventually_issue():
+    trace = independent_ops_trace("fp", n=600)
+    result = run_with_ports(trace, num_fp_ports=1)
+    assert result.retired_uops == len(trace)
+
+
+def test_branches_share_alu_ports():
+    """A branch-only loop cannot exceed the ALU port count per cycle."""
+    b = ProgramBuilder()
+    b.movi(1, 600)
+    b.label("loop")
+    for _ in range(6):
+        b.beqz(0, "loop2") if False else b.add(2, 2, imm=0)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    result = run_with_ports(trace, num_alu_ports=1)
+    assert result.retired_uops == len(trace)
+    assert result.ipc <= 1.05

@@ -1,0 +1,269 @@
+"""Behavioural tests for the baseline OoO pipeline.
+
+These check the *physics* of the model: dependence chains serialise,
+independent work parallelises, bigger windows expose more MLP, branch
+mispredictions cost cycles, and resource limits bound throughput.
+"""
+
+import pytest
+
+from repro.config import PrefetcherConfig, SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import ProgramBuilder, assemble, execute
+
+
+def run(trace, config=None, **kwargs):
+    config = config or SimConfig.baseline()
+    return BaselinePipeline(trace, config, **kwargs).run()
+
+
+def no_prefetch_config(**core_overrides):
+    cfg = SimConfig.baseline()
+    cfg.prefetcher = PrefetcherConfig(enabled=False)
+    for key, value in core_overrides.items():
+        setattr(cfg.core, key, value)
+    return cfg
+
+
+def dependent_chain_trace(n=200):
+    b = ProgramBuilder()
+    b.movi(1, 1)
+    b.label("loop")
+    for _ in range(8):
+        b.add(2, 2, 1)   # serial chain through r2... actually r2 = r2+r1
+    b.sub(1, 1, imm=0)   # keep r1 = 1? sub 0 keeps value
+    b.add(3, 3, imm=1)
+    b.cmplt(4, 3, imm=n)
+    b.bnez(4, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def independent_alu_trace(n=200):
+    b = ProgramBuilder()
+    b.movi(1, 1)
+    b.label("loop")
+    for reg in range(4, 10):
+        b.add(reg, reg, imm=1)   # six independent chains
+    b.add(3, 3, imm=1)
+    b.cmplt(11, 3, imm=n)
+    b.bnez(11, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def test_all_uops_retire():
+    trace = independent_alu_trace(50)
+    result = run(trace)
+    assert result.retired_uops == len(trace)
+
+
+def test_independent_work_has_higher_ipc_than_serial_chain():
+    serial = run(dependent_chain_trace(300))
+    parallel = run(independent_alu_trace(300))
+    assert parallel.ipc > serial.ipc * 1.5
+
+
+def test_serial_chain_ipc_near_one_per_dep():
+    # A pure add chain retires roughly one chain-op per cycle; with the
+    # loop overhead uops running in parallel, IPC lands between 1 and 2.
+    result = run(dependent_chain_trace(300))
+    assert 0.8 < result.ipc < 2.5
+
+
+def test_ipc_bounded_by_width():
+    result = run(independent_alu_trace(300))
+    assert result.ipc <= 6.0
+
+
+def test_cache_hits_fast_misses_slow():
+    def loop(stride, n=400):
+        b = ProgramBuilder()
+        b.movi(1, n)
+        b.movi(2, 1 << 20)
+        b.movi(3, 0)
+        b.label("loop")
+        b.load(4, base=2, index=3, scale=8)
+        b.add(3, 3, imm=stride)
+        b.sub(1, 1, imm=1)
+        b.bnez(1, "loop")
+        b.halt()
+        return execute(b.build())
+
+    cfg = no_prefetch_config()
+    hits = BaselinePipeline(loop(0), cfg).run()          # same address
+    cfg2 = no_prefetch_config()
+    misses = BaselinePipeline(loop(1024), cfg2).run()    # new line each time
+    assert hits.ipc > misses.ipc * 2
+    assert sum(misses.dram_reads.values()) > sum(hits.dram_reads.values())
+
+
+def miss_loop_trace(iters=600, stride_words=64):
+    """Independent LLC-missing loads: the Fig. 3 MLP scenario."""
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, 1 << 21)
+    b.movi(3, 0)
+    b.label("loop")
+    b.load(4, base=2, index=3, scale=8)
+    b.add(5, 5, 4)
+    b.add(3, 3, imm=stride_words)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def test_bigger_rob_exposes_more_mlp():
+    # stride of 72 words = 9 lines: alternates DRAM channels, so the test
+    # is latency-bound (not bus-bound) and extra MLP must convert to IPC.
+    trace = miss_loop_trace(stride_words=72)
+    small = BaselinePipeline(trace, no_prefetch_config(rob_size=32)).run()
+    large = BaselinePipeline(trace, no_prefetch_config(rob_size=352)).run()
+    assert large.mlp > small.mlp * 1.5
+    assert large.ipc > small.ipc * 1.2
+
+
+def test_mshrs_bound_mlp():
+    trace = miss_loop_trace()
+    cfg = no_prefetch_config()
+    cfg.l1d.mshrs = 2
+    cfg.llc.mshrs = 2
+    starved = BaselinePipeline(trace, cfg).run()
+    roomy = BaselinePipeline(trace, no_prefetch_config()).run()
+    assert starved.mlp < roomy.mlp
+    assert starved.mlp <= 2.6   # ~2 outstanding plus rounding slack
+
+
+def test_full_window_stalls_on_miss_loop():
+    trace = miss_loop_trace()
+    result = BaselinePipeline(trace, no_prefetch_config()).run()
+    assert result.full_window_stall_cycles > result.cycles * 0.2
+
+
+def test_mispredicted_branches_cost_cycles():
+    def branchy(n, data_random):
+        b = ProgramBuilder()
+        b.movi(1, n)
+        b.movi(2, 0)        # index
+        b.movi(6, 1 << 18)  # table of random bits
+        b.label("loop")
+        b.load(3, base=6, index=2, scale=8)
+        b.bnez(3, "skip") if data_random else b.beqz(3, "skip")
+        b.add(4, 4, imm=1)
+        b.label("skip")
+        b.add(2, 2, imm=1)
+        b.and_(2, 2, imm=255)
+        b.sub(1, 1, imm=1)
+        b.bnez(1, "loop")
+        b.halt()
+        return b.build()
+
+    import random
+    rng = random.Random(3)
+    mem = {(1 << 18) + i * 8: rng.randrange(2) for i in range(256)}
+    random_trace = execute(branchy(1500, True), dict(mem))
+    # All-zero data: beqz always taken -> predictable.
+    mem_zero = {(1 << 18) + i * 8: 1 for i in range(256)}
+    predictable_trace = execute(branchy(1500, True), dict(mem_zero))
+    hard = run(random_trace)
+    easy = run(predictable_trace)
+    assert easy.ipc > hard.ipc * 1.3
+    assert hard.counters["branch_mispredicts"] > 100
+
+
+def test_store_to_load_forwarding():
+    b = ProgramBuilder()
+    b.movi(1, 1 << 16)
+    b.movi(2, 500)
+    b.label("loop")
+    b.store(3, base=1)
+    b.load(4, base=1)       # forwarded from the store every iteration
+    b.add(3, 4, imm=1)
+    b.sub(2, 2, imm=1)
+    b.bnez(2, "loop")
+    b.halt()
+    result = run(execute(b.build()))
+    assert result.counters["store_forwards"] >= 499
+
+
+def test_warmup_exclusion_reduces_reported_region():
+    trace = miss_loop_trace(800)
+    cfg = no_prefetch_config()
+    cfg.stats_warmup_uops = len(trace) // 2
+    warm = BaselinePipeline(trace, cfg).run()
+    cold = BaselinePipeline(trace, no_prefetch_config()).run()
+    assert warm.retired_uops < cold.retired_uops
+    assert warm.cycles < cold.cycles
+    # Snapshot lands within one retire group of the requested point.
+    reported = warm.retired_uops
+    target = len(trace) - cfg.stats_warmup_uops
+    assert target - cfg.core.retire_width <= reported <= target
+
+
+def test_rob_stall_profiler_sees_noncritical_majority():
+    # In the miss loop, only load+index chain is critical; most ROB slots
+    # hold non-critical uops during stalls (the paper's Fig. 1 claim).
+    trace = miss_loop_trace()
+    pipeline = BaselinePipeline(trace, no_prefetch_config(),
+                                profile_rob_stalls=True)
+    result = pipeline.run()
+    from repro.stats import mark_critical_chains
+    critical = mark_critical_chains(trace, pipeline.llc_miss_load_seqs)
+    fraction = pipeline.profiler.critical_fraction(critical)
+    assert 0.0 < fraction < 0.9
+    assert pipeline.profiler.stall_cycles > 0
+
+
+def test_prefetcher_covers_sequential_stream():
+    """The stream prefetcher's job in this model is *coverage*: keeping
+    sequential loads out of the critical-miss population (which is what
+    makes lbm/libquantum-class workloads neutral for CDF and PRE). On an
+    all-miss stream the OoO core's own MSHR-level parallelism is already
+    near-optimal, so we assert coverage and a bounded IPC delta rather
+    than an IPC win."""
+    b = ProgramBuilder()
+    b.movi(1, 400)
+    b.movi(2, 1 << 21)
+    b.movi(3, 0)
+    b.label("loop")
+    b.load(4, base=2, index=3, scale=8)
+    b.add(5, 5, 4)
+    for _ in range(5):
+        b.add(6, 6, imm=1)
+        b.mul(7, 6, imm=3)
+    b.add(3, 3, imm=8)     # next line each iteration
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    with_pf = BaselinePipeline(trace, SimConfig.baseline()).run()
+    without = BaselinePipeline(trace, no_prefetch_config()).run()
+    # Coverage: most demand DRAM reads become prefetch fills.
+    assert with_pf.dram_reads["prefetch"] > 100
+    assert with_pf.dram_reads["demand"] < without.dram_reads["demand"] * 0.6
+    # No pathological slowdown from prefetching.
+    assert with_pf.ipc > without.ipc * 0.85
+
+
+def test_llc_miss_loads_recorded():
+    trace = miss_loop_trace()
+    pipeline = BaselinePipeline(trace, no_prefetch_config())
+    pipeline.run()
+    assert len(pipeline.llc_miss_load_seqs) > 100
+
+
+def test_result_counters_contain_energy_inputs():
+    result = run(independent_alu_trace(100))
+    for key in ("fetch_uops", "rename_uops", "rob_writes", "prf_writes",
+                "l1d_accesses", "llc_accesses", "dram_reads"):
+        assert key in result.counters, key
+
+
+def test_deterministic_given_same_inputs():
+    trace = miss_loop_trace(200)
+    a = BaselinePipeline(trace, no_prefetch_config()).run()
+    b = BaselinePipeline(trace, no_prefetch_config()).run()
+    assert a.cycles == b.cycles
+    assert a.mlp == b.mlp
+    assert dict(a.counters) == dict(b.counters)

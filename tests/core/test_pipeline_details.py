@@ -1,0 +1,156 @@
+"""Detailed timing tests for baseline pipeline stage behaviour."""
+
+import pytest
+
+from repro.config import PrefetcherConfig, SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import ProgramBuilder, assemble, execute
+
+
+def cfg(**core_overrides):
+    config = SimConfig.baseline()
+    config.prefetcher = PrefetcherConfig(enabled=False)
+    for key, value in core_overrides.items():
+        setattr(config.core, key, value)
+    return config
+
+
+def run(trace, config=None):
+    return BaselinePipeline(trace, config or cfg()).run()
+
+
+def nop_heavy_trace(n=1200):
+    b = ProgramBuilder()
+    b.movi(1, n // 6)
+    b.label("loop")
+    for reg in range(4, 10):
+        b.movi(reg, 1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    return execute(b.build())
+
+
+def test_retire_width_bounds_ipc():
+    trace = nop_heavy_trace()
+    wide = run(trace, cfg(retire_width=6))
+    narrow = run(trace, cfg(retire_width=2))
+    assert narrow.ipc <= 2.001
+    assert wide.ipc > narrow.ipc
+
+
+def test_fetch_width_bounds_ipc():
+    trace = nop_heavy_trace()
+    narrow = run(trace, cfg(fetch_width=1))
+    assert narrow.ipc <= 1.001
+
+
+def test_rename_width_bounds_ipc():
+    trace = nop_heavy_trace()
+    narrow = run(trace, cfg(rename_width=2))
+    assert narrow.ipc <= 2.001
+
+
+def test_deeper_decode_pipe_costs_on_mispredicts():
+    b = ProgramBuilder()
+    b.movi(1, 400)
+    b.movi(2, 0x5A5A5)
+    b.label("loop")
+    b.shr(3, 2, imm=1)
+    b.xor(2, 2, 3)        # pseudo-random condition
+    b.and_(4, 2, imm=1)
+    b.bnez(4, "skip")
+    b.add(5, 5, imm=1)
+    b.label("skip")
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    shallow = run(trace, cfg(decode_latency=1))
+    deep = run(trace, cfg(decode_latency=10))
+    assert deep.cycles > shallow.cycles
+
+
+def test_redirect_penalty_costs_on_mispredicts():
+    b = ProgramBuilder()
+    b.movi(1, 300)
+    b.movi(2, 0x13579)
+    b.label("loop")
+    b.shr(3, 2, imm=1)
+    b.xor(2, 2, 3)
+    b.and_(4, 2, imm=1)
+    b.beqz(4, "skip")
+    b.add(5, 5, imm=1)
+    b.label("skip")
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    cheap = run(trace, cfg(mispredict_redirect_penalty=1))
+    expensive = run(trace, cfg(mispredict_redirect_penalty=40))
+    assert expensive.cycles > cheap.cycles * 1.1
+
+
+def test_prf_limit_throttles_writers():
+    trace = nop_heavy_trace()
+    tight = cfg(num_phys_regs=48)   # writers limit = 16
+    result = run(trace, tight)
+    assert result.retired_uops == len(trace)
+    roomy = run(trace)
+    assert result.cycles >= roomy.cycles
+
+
+def test_store_commits_happen_at_retire():
+    b = ProgramBuilder()
+    b.movi(1, 1 << 16)
+    for i in range(20):
+        b.movi(2, i)
+        b.store(2, base=1, imm=i * 8)
+    b.halt()
+    trace = execute(b.build())
+    pipeline = BaselinePipeline(trace, cfg())
+    result = pipeline.run()
+    assert pipeline.mem.store_commits == 20
+    assert result.retired_uops == len(trace)
+
+
+def test_icache_touched_once_per_line():
+    # 40 straight-line uops = 3 I-cache lines (16 uops per line).
+    b = ProgramBuilder()
+    for _ in range(39):
+        b.movi(2, 1)
+    b.halt()
+    trace = execute(b.build())
+    pipeline = BaselinePipeline(trace, cfg())
+    pipeline.run()
+    assert pipeline.mem.l1i.accesses == 3
+
+
+def test_dependent_load_waits_for_address():
+    text = """
+        movi r1, 4096
+        movi r2, 64
+        load r3, [r1]          ; cold miss
+        load r4, [r3 + 4096]   ; address depends on the miss
+        halt
+    """
+    trace = execute(assemble(text), {4096: 128})
+    pipeline = BaselinePipeline(trace, cfg())
+    pipeline.run()
+    first, second = [u for u in trace if u.is_load]
+    # The dependent load's issue must follow the first load's completion.
+    assert pipeline.counters["llc_miss_loads"] >= 1
+
+
+def test_max_cycles_guard_fires():
+    trace = nop_heavy_trace()
+    config = cfg()
+    config.max_cycles = 10
+    with pytest.raises(RuntimeError, match="max_cycles"):
+        BaselinePipeline(trace, config).run()
+
+
+def test_counters_are_nonnegative():
+    result = run(nop_heavy_trace())
+    for key, value in result.counters.items():
+        assert value >= 0, key

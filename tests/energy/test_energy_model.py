@@ -1,0 +1,113 @@
+"""Unit tests for the energy/area model."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.energy import EnergyModel, Structure
+from repro.stats import Counters, SimResult
+
+
+def make_result(mode="baseline", cycles=10_000, **counter_overrides):
+    counters = Counters({
+        "fetch_uops": 5000, "rename_uops": 5000, "rob_writes": 5000,
+        "rob_reads": 5000, "wakeup_broadcasts": 5000, "prf_reads": 8000,
+        "prf_writes": 4000, "lq_searches": 500, "sq_searches": 1000,
+        "l1i_accesses": 1000, "l1d_accesses": 1500, "llc_accesses": 200,
+        "bpred_lookups": 800, "btb_lookups": 800,
+    })
+    counters.update(counter_overrides)
+    return SimResult(
+        benchmark="t", mode=mode, cycles=cycles, retired_uops=5000,
+        mlp=1.0, dram_reads={"demand": 100}, dram_writes={},
+        full_window_stall_cycles=0, counters=counters)
+
+
+# ----------------------------------------------------------------- Structure
+def test_access_energy_grows_with_capacity():
+    small = Structure("a", 32 * 1024)
+    big = Structure("b", 1024 * 1024)
+    assert big.access_energy_pj() > small.access_energy_pj()
+
+
+def test_cam_costs_more_than_sram():
+    sram = Structure("a", 4096, kind="sram")
+    cam = Structure("b", 4096, kind="cam")
+    assert cam.access_energy_pj() > sram.access_energy_pj() * 2
+    assert cam.area_mm2() > sram.area_mm2()
+    assert cam.leakage_nw() > sram.leakage_nw()
+
+
+def test_ports_multiply_energy_and_area():
+    one = Structure("a", 4096, ports=1)
+    four = Structure("b", 4096, ports=4)
+    assert four.access_energy_pj() > one.access_energy_pj()
+    assert four.area_mm2() > one.area_mm2()
+
+
+# ---------------------------------------------------------------- EnergyModel
+def test_compute_fills_result_energy():
+    model = EnergyModel(SimConfig.baseline())
+    result = make_result()
+    breakdown = model.compute(result)
+    assert result.energy_nj == pytest.approx(breakdown.total_nj)
+    assert breakdown.total_nj > 0
+    assert breakdown.static_nj > 0
+    assert breakdown.dram_nj > 0
+
+
+def test_longer_runtime_costs_static_energy():
+    model = EnergyModel(SimConfig.baseline())
+    fast = model.compute(make_result(cycles=10_000))
+    slow = model.compute(make_result(cycles=20_000))
+    assert slow.static_nj == pytest.approx(2 * fast.static_nj)
+    assert slow.total_nj > fast.total_nj
+
+
+def test_dram_traffic_costs_energy():
+    model = EnergyModel(SimConfig.baseline())
+    quiet = make_result()
+    noisy = make_result()
+    noisy.dram_reads = {"demand": 100, "runahead": 400}
+    assert model.compute(noisy).dram_nj > model.compute(quiet).dram_nj
+
+
+def test_cdf_structures_only_charged_in_cdf_mode():
+    model = EnergyModel(SimConfig.with_cdf())
+    plain = make_result(mode="baseline")
+    with_cdf = make_result(mode="cdf", uop_cache_reads=2000,
+                           crit_rename_uops=1500, cct_updates=1500,
+                           fill_walk_uops=1024, dbq_pops=300,
+                           crit_fetch_uops=1500, replayed_uops=1500)
+    e_plain = model.compute(plain)
+    e_cdf = model.compute(with_cdf)
+    assert "uop_cache" in e_cdf.dynamic_nj
+    assert "uop_cache" not in e_plain.dynamic_nj
+    # The structure overhead is small (paper: ~2% energy overhead).
+    cdf_extra = sum(v for k, v in e_cdf.dynamic_nj.items()
+                    if k in ("uop_cache", "mask_cache", "cct", "fill_buffer",
+                             "dbq", "cmq", "crit_rat"))
+    assert cdf_extra < 0.1 * e_cdf.total_nj
+
+
+def test_duplicate_execution_costs_energy():
+    """PRE's re-executed chain uops show up via rename counts."""
+    model = EnergyModel(SimConfig.with_pre())
+    normal = make_result(mode="pre")
+    duplicated = make_result(mode="pre", crit_rename_uops=3000)
+    assert model.compute(duplicated).core_uop_nj > \
+        model.compute(normal).core_uop_nj
+
+
+def test_area_overhead_matches_paper():
+    model = EnergyModel(SimConfig.with_cdf())
+    assert model.baseline_area_mm2() > 0
+    assert 0.02 < model.cdf_area_overhead() < 0.05   # paper: 3.2%
+
+
+def test_static_share_is_plausible():
+    """Static+clock should be a material share of total (the lever that
+    converts CDF's runtime reduction into an energy reduction)."""
+    model = EnergyModel(SimConfig.baseline())
+    breakdown = model.compute(make_result())
+    share = breakdown.static_nj / breakdown.total_nj
+    assert 0.2 < share < 0.9

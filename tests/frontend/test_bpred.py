@@ -1,0 +1,122 @@
+"""Unit tests for the direction predictors."""
+
+import random
+
+import pytest
+
+from repro.frontend import (
+    BimodalPredictor,
+    GsharePredictor,
+    TAGEPredictor,
+    make_predictor,
+)
+
+
+ALL_PREDICTORS = [BimodalPredictor, GsharePredictor, TAGEPredictor]
+
+
+@pytest.mark.parametrize("cls", ALL_PREDICTORS)
+def test_learns_always_taken(cls):
+    p = cls()
+    pc = 0x40
+    for _ in range(16):
+        pred = p.predict(pc)
+        p.record_outcome(pred, True)
+        p.update(pc, True)
+    assert p.predict(pc) is True
+
+
+@pytest.mark.parametrize("cls", ALL_PREDICTORS)
+def test_learns_never_taken(cls):
+    p = cls()
+    pc = 0x80
+    for _ in range(16):
+        pred = p.predict(pc)
+        p.record_outcome(pred, False)
+        p.update(pc, False)
+    assert p.predict(pc) is False
+
+
+@pytest.mark.parametrize("cls", [GsharePredictor, TAGEPredictor])
+def test_history_predictor_learns_alternating_pattern(cls):
+    """T,N,T,N... is hard for bimodal, easy for history predictors."""
+    p = cls()
+    pc = 0x123
+    outcome = True
+    misses_late = 0
+    for i in range(2000):
+        pred = p.predict(pc)
+        if i >= 1000 and pred != outcome:
+            misses_late += 1
+        p.update(pc, outcome)
+        outcome = not outcome
+    assert misses_late < 50   # nearly perfect after warmup
+
+
+def test_tage_learns_long_correlated_pattern():
+    """A pattern with period 12 needs longer history than gshare-lite."""
+    p = TAGEPredictor()
+    pattern = [True] * 11 + [False]
+    misses_late = 0
+    for i in range(6000):
+        outcome = pattern[i % len(pattern)]
+        pred = p.predict(0x77)
+        if i >= 3000 and pred != outcome:
+            misses_late += 1
+        p.update(0x77, outcome)
+    assert misses_late / 3000 < 0.10
+
+
+@pytest.mark.parametrize("cls", ALL_PREDICTORS)
+def test_random_branches_are_hard(cls):
+    """Data-random branches should stay near 50% accuracy: these are the
+    hard-to-predict branches CDF marks critical."""
+    p = cls()
+    rng = random.Random(42)
+    wrong = 0
+    trials = 4000
+    for _ in range(trials):
+        outcome = rng.random() < 0.5
+        pred = p.predict(0x200)
+        if pred != outcome:
+            wrong += 1
+        p.update(0x200, outcome)
+    assert 0.30 < wrong / trials < 0.70
+
+
+def test_accuracy_bookkeeping():
+    p = BimodalPredictor()
+    p.record_outcome(True, True)
+    p.record_outcome(True, False)
+    assert p.predictions == 2
+    assert p.mispredictions == 1
+    assert p.accuracy == pytest.approx(0.5)
+
+
+def test_factory():
+    assert isinstance(make_predictor("tage"), TAGEPredictor)
+    assert isinstance(make_predictor("gshare"), GsharePredictor)
+    assert isinstance(make_predictor("bimodal"), BimodalPredictor)
+    with pytest.raises(ValueError):
+        make_predictor("perceptron")
+
+
+def test_bimodal_power_of_two_validation():
+    with pytest.raises(ValueError):
+        BimodalPredictor(entries=1000)
+
+
+def test_gshare_power_of_two_validation():
+    with pytest.raises(ValueError):
+        GsharePredictor(entries=1000)
+
+
+def test_multiple_pcs_do_not_destructively_interfere_in_tage():
+    p = TAGEPredictor()
+    for _ in range(200):
+        for pc, outcome in ((0x10, True), (0x20, False), (0x30, True)):
+            p.predict(pc)
+            p.update(pc, outcome)
+    assert p.predict(0x10) is True
+    assert p.predict(0x20) is False
+    assert p.predict(0x30) is True

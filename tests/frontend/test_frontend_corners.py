@@ -1,0 +1,74 @@
+"""Corner-case tests for frontend structures."""
+
+from repro.frontend import BranchUnit
+from repro.isa import Opcode, assemble, execute
+
+
+def test_ret_without_matching_call_mispredicts():
+    """RAS underflow: the return target cannot be predicted."""
+    unit = BranchUnit()
+    trace = execute(assemble("""
+        jmp fn        ; enter without call: RAS stays empty
+        nop
+    fn:
+        movi r1, 1
+        halt
+    """))
+    # Manufacture a RET uop path via call-less program: build one with a
+    # genuine ret after seeding the machine's return stack via call, then
+    # replay only the ret against a fresh (empty-RAS) unit.
+    called = execute(assemble("""
+        call fn
+        halt
+    fn:
+        ret
+    """))
+    ret = next(u for u in called if u.op == Opcode.RET)
+    outcome = unit.predict_and_train(ret)
+    assert outcome.mispredicted          # empty RAS -> no target
+
+
+def test_deep_recursion_overflows_ras_gracefully():
+    unit = BranchUnit(ras_depth=4)
+    program = assemble("""
+        movi r1, 8
+        call fn
+        halt
+    fn:
+        sub r1, r1, 1
+        beqz r1, out
+        call fn
+    out:
+        ret
+    """)
+    trace = execute(program)
+    mispredicts = 0
+    for uop in trace:
+        if uop.is_branch:
+            if unit.predict_and_train(uop).mispredicted:
+                mispredicts += 1
+    # 8-deep recursion through a 4-entry RAS: the inner returns predict,
+    # the overflowed outer ones mispredict, and nothing crashes.
+    rets = sum(1 for u in trace if u.op == Opcode.RET)
+    assert rets == 8
+    assert 0 < mispredicts < rets
+
+
+def test_btb_aliasing_still_resolves_targets():
+    unit = BranchUnit(btb_entries=16)
+    # Many taken branches at aliasing pcs.
+    program_text = ["movi r1, 4", "loop:"]
+    for i in range(20):
+        program_text.append(f"jmp l{i}")
+        program_text.append(f"l{i}:")
+        program_text.append("nop")
+    program_text += ["sub r1, r1, 1", "bnez r1, loop", "halt"]
+    trace = execute(assemble("\n".join(program_text)))
+    misses = 0
+    for uop in trace:
+        if uop.is_branch:
+            outcome = unit.predict_and_train(uop)
+            misses += outcome.btb_miss
+    # Aliasing evicts entries so some re-misses happen, but the unit
+    # keeps functioning and eventually mostly hits.
+    assert misses < sum(1 for u in trace if u.is_branch)

@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list_shows_all_benchmarks(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("astar", "mcf", "zeusmp", "parest"):
+        assert name in out
+
+
+def test_run_baseline(capsys):
+    code, out = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                        "--scale", "0.1")
+    assert code == 0
+    assert "bzip" in out and "ipc=" in out
+
+
+def test_run_cdf_reports_cdf_counters(capsys):
+    code, out = run_cli(capsys, "run", "bzip", "--mode", "cdf",
+                        "--scale", "0.3")
+    assert code == 0
+    assert "cdf:" in out and "critical fetches" in out
+
+
+def test_run_pre_reports_runahead_counters(capsys):
+    code, out = run_cli(capsys, "run", "milc", "--mode", "pre",
+                        "--scale", "0.15")
+    assert code == 0
+    assert "pre:" in out and "intervals" in out
+
+
+def test_run_with_rob_override(capsys):
+    code, out = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                        "--scale", "0.1", "--rob", "64")
+    assert code == 0
+
+
+def test_run_counters_dump(capsys):
+    code, out = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                        "--scale", "0.1", "--counters")
+    assert "fetch_uops" in out
+
+
+def test_compare(capsys):
+    code, out = run_cli(capsys, "compare", "bzip", "--scale", "0.1")
+    assert code == 0
+    for mode in ("baseline", "cdf", "pre"):
+        assert mode in out
+
+
+def test_figure_table1(capsys):
+    code, out = run_cli(capsys, "figure", "table1")
+    assert code == 0
+    assert "352 Entry ROB" in out
+
+
+def test_figure_fig13_small(capsys):
+    code, out = run_cli(capsys, "figure", "fig13", "--scale", "0.08")
+    assert code == 0
+    assert "GEOMEAN" in out
+
+
+def test_disasm(capsys):
+    code, out = run_cli(capsys, "disasm", "nab")
+    assert code == 0
+    assert "load r8, [r7]" in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "gcc"])
+
+
+def test_all_figures_registered():
+    assert set(FIGURES) == {
+        "table1", "fig1", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "ablation-branches", "ablation-partitioning",
+        "ablation-thresholds",
+    }

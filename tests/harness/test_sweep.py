@@ -1,0 +1,59 @@
+"""Unit tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness import (
+    geomean_speedups,
+    llc_size_knob,
+    memory_speed_knob,
+    mshr_knob,
+    sweep,
+)
+
+SMALL = 0.1
+
+
+def test_memory_speed_knob_scales_timings():
+    config = SimConfig.baseline()
+    memory_speed_knob(config, 0.5)
+    assert config.dram.tcl == 8
+    assert config.dram.trp == 8
+    assert config.dram.trcd == 8
+    memory_speed_knob(config, 0.01)
+    assert config.dram.tcl >= 1     # clamped
+
+
+def test_mshr_knob():
+    config = SimConfig.baseline()
+    mshr_knob(config, 4)
+    assert config.l1d.mshrs == 4
+    assert config.llc.mshrs == 8
+
+
+def test_llc_size_knob():
+    config = SimConfig.baseline()
+    llc_size_knob(config, 512 * 1024)
+    assert config.llc.size_bytes == 512 * 1024
+
+
+def test_sweep_shape_and_reduction():
+    results = sweep(mshr_knob, (2, 16), ("bzip",),
+                    modes=("baseline", "cdf"), scale=SMALL)
+    assert set(results) == {2, 16}
+    assert set(results[2]) == {"baseline", "cdf"}
+    assert set(results[2]["cdf"]) == {"bzip"}
+    reduced = geomean_speedups(results)
+    assert set(reduced) == {2, 16}
+    assert "cdf" in reduced[2]
+    assert "baseline" not in reduced[2]
+    assert reduced[2]["cdf"] > 0
+
+
+def test_mshrs_bound_mlp_through_the_sweep():
+    results = sweep(mshr_knob, (2, 16), ("milc",),
+                    modes=("baseline",), scale=0.2)
+    starved = results[2]["baseline"]["milc"]
+    roomy = results[16]["baseline"]["milc"]
+    assert starved.mlp <= roomy.mlp + 0.01
+    assert starved.ipc <= roomy.ipc * 1.01

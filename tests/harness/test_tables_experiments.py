@@ -1,0 +1,73 @@
+"""Unit tests for table rendering and (small-scale) experiment drivers."""
+
+import pytest
+
+from repro.harness import (
+    fig01_rob_distribution,
+    fig13_speedup,
+    fig14_mlp,
+    fig15_traffic,
+    fig16_energy,
+    format_fig01,
+    format_fig13,
+    get_comparison,
+    percent,
+    render_table,
+    table1_text,
+)
+
+SMALL = 0.12
+SUBSET = ("bzip", "milc")
+
+
+def test_render_table_alignment_and_footer():
+    text = render_table("T", ("name", "v"), [("a", 1), ("bb", 22)],
+                        footer=("sum", 23))
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    assert any("bb" in line for line in lines)
+    assert "sum" in lines[-2]
+
+
+def test_percent_formatting():
+    assert percent(1.061) == "+6.1%"
+    assert percent(0.95) == "-5.0%"
+
+
+def test_table1_mentions_all_structures():
+    text = table1_text()
+    for token in ("352 Entry ROB", "TAGE", "DDR4_2400R", "Mask Cache",
+                  "Critical Uop Cache", "Fill Buffer",
+                  "Delayed Branch Queue", "Critical Map Queue"):
+        assert token in text, token
+
+
+def test_comparison_cache_is_shared():
+    a = get_comparison(SUBSET, SMALL)
+    b = get_comparison(SUBSET, SMALL)
+    assert a is b
+
+
+def test_fig13_structure():
+    data = fig13_speedup(names=SUBSET, scale=SMALL)
+    assert set(data["cdf"]) == set(SUBSET)
+    assert data["geomean"]["cdf"] > 0
+    text = format_fig13(data)
+    assert "GEOMEAN" in text and "bzip" in text
+
+
+def test_fig14_15_16_share_runs_and_have_all_rows():
+    for driver in (fig14_mlp, fig15_traffic, fig16_energy):
+        data = driver(names=SUBSET, scale=SMALL)
+        assert set(data["cdf"]) == set(SUBSET)
+        assert set(data["pre"]) == set(SUBSET)
+        assert "geomean" in data
+
+
+def test_fig01_fractions_in_unit_interval():
+    fractions = fig01_rob_distribution(names=SUBSET, scale=SMALL)
+    for name, value in fractions.items():
+        assert 0.0 <= value <= 1.0, name
+    text = format_fig01(fractions)
+    assert "critical" in text

@@ -1,0 +1,136 @@
+"""Differential fuzzing: random programs through all three pipelines.
+
+The strongest whole-system invariant we have is that the baseline, CDF,
+and PRE cores perform the *same architectural work* — every dynamic uop
+retires exactly once, in program order, no matter how the frontends
+reorder fetch. Hypothesis generates random control-flow-heavy programs
+(loops, branches, loads, stores, pointer-ish chains) and we assert the
+invariants on all three cores.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import NUM_ARCH_REGS, ProgramBuilder, execute
+from repro.runahead import PREPipeline
+
+_REG = st.integers(min_value=2, max_value=14)
+
+
+@st.composite
+def looping_program(draw):
+    """A random program with a bounded loop, data-dependent branches,
+    memory traffic, and filler — the structural ingredients of the suite.
+
+    The loop counter lives in r1 and only the emitted epilogue touches
+    it, so termination is guaranteed.
+    """
+    b = ProgramBuilder()
+    iters = draw(st.integers(min_value=20, max_value=120))
+    b.movi(1, iters)
+    b.movi(15, 1 << 22)                    # memory base
+    body = draw(st.integers(min_value=3, max_value=25))
+    b.label("loop")
+    skip_labels = 0
+    for i in range(body):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "load", "store", "branch", "fp"]))
+        if kind == "alu":
+            op = draw(st.sampled_from(["add", "sub", "xor", "and_", "mul"]))
+            getattr(b, op)(draw(_REG), draw(_REG),
+                           imm=draw(st.integers(0, 255)))
+        elif kind == "fp":
+            b.fadd(draw(_REG), draw(_REG), imm=draw(st.integers(0, 9)))
+        elif kind == "load":
+            b.and_(12, draw(_REG), imm=(1 << 14) - 1)
+            b.load(draw(_REG), base=15, index=12, scale=8)
+        elif kind == "store":
+            b.and_(12, draw(_REG), imm=(1 << 14) - 1)
+            b.store(draw(_REG), base=15, index=12, scale=8)
+        else:
+            # A data-dependent forward branch over one filler uop.
+            label = f"skip{skip_labels}"
+            skip_labels += 1
+            b.and_(13, draw(_REG), imm=1)
+            b.bnez(13, label)
+            b.add(draw(_REG), draw(_REG), imm=1)
+            b.label(label)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    seed_words = draw(st.integers(min_value=0, max_value=64))
+    memory = {(1 << 22) + 8 * i: draw(st.integers(0, (1 << 16) - 1))
+              for i in range(seed_words)}
+    return b.build(), memory
+
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow,
+                                            HealthCheck.data_too_large])
+
+
+@given(looping_program())
+@_SETTINGS
+def test_all_three_cores_retire_every_uop_once(case):
+    program, memory = case
+    trace = execute(program, memory, max_uops=50_000, require_halt=False)
+    base = BaselinePipeline(trace, SimConfig.baseline()).run()
+    cdf = CDFPipeline(trace, SimConfig.with_cdf(), program).run()
+    pre = PREPipeline(trace, SimConfig.with_pre(), program).run()
+    assert base.retired_uops == len(trace)
+    assert cdf.retired_uops == len(trace)
+    assert pre.retired_uops == len(trace)
+
+
+@given(looping_program())
+@_SETTINGS
+def test_cdf_internal_accounting_always_balances(case):
+    program, memory = case
+    trace = execute(program, memory, max_uops=50_000, require_halt=False)
+    pipe = CDFPipeline(trace, SimConfig.with_cdf(), program)
+    result = pipe.run()
+    counters = result.counters
+    # Every critically fetched uop was renamed; every renamed one was
+    # replayed or flushed; nothing lingers at the end.
+    assert counters["crit_fetch_uops"] == counters["crit_rename_uops"]
+    assert counters["crit_rename_uops"] == (
+        counters["replayed_uops"] + counters["violation_flushed_uops"])
+    assert not pipe.critically_fetched
+    assert len(pipe.cmq) == 0
+    assert len(pipe.rob_crit) == 0
+    assert pipe.rs_crit_used == 0
+    assert pipe.lq_crit_used == 0
+    assert pipe.sq_crit_used == 0
+    assert pipe.writers_crit == 0
+
+
+@given(looping_program())
+@_SETTINGS
+def test_baseline_resource_accounting_drains(case):
+    program, memory = case
+    trace = execute(program, memory, max_uops=50_000, require_halt=False)
+    pipe = BaselinePipeline(trace, SimConfig.baseline())
+    pipe.run()
+    assert len(pipe.rob) == 0
+    assert pipe.rs_used == 0
+    assert pipe.lq_used == 0
+    assert pipe.sq_used == 0
+    assert pipe.writers_inflight == 0
+    assert not pipe.retry_loads
+
+
+@given(looping_program())
+@_SETTINGS
+def test_cdf_and_pre_never_lose_to_baseline_catastrophically(case):
+    """Reordering must never produce a wildly wrong machine: both
+    techniques stay within a sane envelope of the baseline."""
+    program, memory = case
+    trace = execute(program, memory, max_uops=50_000, require_halt=False)
+    base = BaselinePipeline(trace, SimConfig.baseline()).run()
+    cdf = CDFPipeline(trace, SimConfig.with_cdf(), program).run()
+    pre = PREPipeline(trace, SimConfig.with_pre(), program).run()
+    assert cdf.cycles < base.cycles * 1.5
+    assert pre.cycles < base.cycles * 1.5

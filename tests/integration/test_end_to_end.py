@@ -1,0 +1,106 @@
+"""Cross-module integration tests: the three cores over real workloads.
+
+These check whole-system invariants the unit tests cannot: identical
+architectural work across modes, determinism through the full stack, and
+the qualitative relationships every figure relies on.
+"""
+
+import pytest
+
+from repro.harness import load_workload, run_benchmark, run_comparison
+from repro.workloads import suite_names
+
+SMALL = 0.15
+
+#: A fast, representative cross-section of the suite.
+SUBSET = ("astar", "bzip", "nab", "zeusmp", "sphinx")
+
+
+@pytest.fixture(scope="module")
+def subset_results():
+    return run_comparison(SUBSET, scale=SMALL)
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_all_modes_retire_the_same_instruction_count(subset_results, name):
+    by_mode = subset_results[name]
+    counts = {mode: r.retired_uops for mode, r in by_mode.items()}
+    assert len(set(counts.values())) == 1, counts
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_results_have_consistent_metadata(subset_results, name):
+    for mode, result in subset_results[name].items():
+        assert result.benchmark == name
+        assert result.mode == mode
+        assert result.cycles > 0
+        assert result.energy_nj > 0
+        assert result.ipc > 0
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_rerun_is_bit_identical(subset_results, name):
+    for mode in ("baseline", "cdf", "pre"):
+        again = run_benchmark(name, mode, scale=SMALL)
+        first = subset_results[name][mode]
+        assert again.cycles == first.cycles, (name, mode)
+        assert again.total_traffic == first.total_traffic
+
+
+def test_cdf_never_adds_significant_traffic(subset_results):
+    for name, by_mode in subset_results.items():
+        ratio = by_mode["cdf"].traffic_ratio(by_mode["baseline"])
+        assert ratio < 1.05, (name, ratio)
+
+
+def test_speedups_are_bounded_and_sane(subset_results):
+    for name, by_mode in subset_results.items():
+        for mode in ("cdf", "pre"):
+            ratio = by_mode[mode].speedup_over(by_mode["baseline"])
+            assert 0.7 < ratio < 3.0, (name, mode, ratio)
+
+
+def test_cdf_accounting_identity(subset_results):
+    """Critically fetched uops are all renamed, and all renamed critical
+    uops are either replayed or flushed."""
+    for name in SUBSET:
+        counters = subset_results[name]["cdf"].counters
+        assert counters["crit_fetch_uops"] == counters["crit_rename_uops"]
+        assert counters["crit_rename_uops"] == (
+            counters["replayed_uops"]
+            + counters["violation_flushed_uops"])
+
+
+def test_pre_traffic_attribution(subset_results):
+    """Runahead traffic appears under its own source tag only for PRE."""
+    for name in SUBSET:
+        assert subset_results[name]["baseline"].dram_reads["runahead"] == 0
+        assert subset_results[name]["cdf"].dram_reads["runahead"] == 0
+
+
+def test_branch_predictor_work_identical_across_modes(subset_results):
+    """Every branch is predicted exactly once regardless of mode (CDF
+    predicts at critical fetch, the regular stream replays from the DBQ)."""
+    for name in SUBSET:
+        by_mode = subset_results[name]
+        # Compare over the full run (warmup excluded counters may differ
+        # by a few at the snapshot boundary).
+        base = by_mode["baseline"].counters["bpred_lookups"]
+        cdf = by_mode["cdf"].counters["bpred_lookups"]
+        assert abs(base - cdf) <= base * 0.02 + 8, name
+
+
+def test_scaled_down_core_is_slower():
+    from repro.config import SimConfig
+    config = SimConfig.baseline()
+    config.core = config.core.scaled(96)
+    small = run_benchmark("astar", "baseline", scale=SMALL, config=config)
+    normal = run_benchmark("astar", "baseline", scale=SMALL)
+    assert small.ipc <= normal.ipc
+
+
+def test_full_suite_smoke_every_kernel_runs_under_cdf():
+    for name in suite_names():
+        result = run_benchmark(name, "cdf", scale=0.08)
+        assert result.retired_uops > 0
+        assert result.cycles > 0

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "astar_motivation.py",
+            "branch_criticality.py", "scaling_study.py",
+            "custom_workload.py", "compiler_hints.py",
+            "pipeline_viewer.py"} <= names
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("quickstart.py", ("bzip", "0.2"), "speedup"),
+    ("astar_motivation.py", ("0.2",), "baseline vs CDF"),
+    ("custom_workload.py", (), "custom kernel"),
+    ("compiler_hints.py", ("milc", "0.25"), "compiler hints"),
+    ("pipeline_viewer.py", ("40",), "legend:"),
+])
+def test_example_runs(name, args, expect):
+    proc = run_example(name, *args)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout
+
+
+def test_quickstart_rejects_unknown_benchmark():
+    proc = run_example("quickstart.py", "gcc")
+    assert proc.returncode != 0
+    assert "unknown benchmark" in (proc.stderr + proc.stdout)

@@ -1,0 +1,82 @@
+"""Unit tests for the ProgramBuilder fluent API."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder
+
+
+def test_forward_label_resolution():
+    b = ProgramBuilder()
+    b.jmp("end")
+    b.movi(0, 1)
+    b.label("end")
+    b.halt()
+    p = b.build()
+    assert p[0].target == 2
+
+
+def test_undefined_label_raises():
+    b = ProgramBuilder()
+    b.jmp("nowhere")
+    b.halt()
+    with pytest.raises(ValueError, match="undefined label"):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder()
+    b.label("x")
+    b.nop()
+    with pytest.raises(ValueError, match="duplicate label"):
+        b.label("x")
+
+
+def test_numeric_targets_pass_through():
+    b = ProgramBuilder()
+    b.beqz(1, 1)
+    b.halt()
+    p = b.build()
+    assert p[0].target == 1
+
+
+def test_immediate_and_register_alu_forms():
+    b = ProgramBuilder()
+    b.add(0, 1, imm=5)
+    b.add(0, 1, 2)
+    b.halt()
+    p = b.build()
+    assert p[0].src2 is None and p[0].imm == 5
+    assert p[1].src2 == 2
+
+
+def test_memory_operand_fields():
+    b = ProgramBuilder()
+    b.load(3, base=1, index=2, scale=8, imm=16)
+    b.store(4, base=1, imm=-8)
+    b.halt()
+    p = b.build()
+    load = p[0]
+    assert (load.dst, load.src1, load.src2, load.scale, load.imm) == (3, 1, 2, 8, 16)
+    store = p[1]
+    assert store.dst == 4 and store.src1 == 1 and store.imm == -8
+
+
+def test_next_pc_tracks_emission():
+    b = ProgramBuilder()
+    assert b.next_pc == 0
+    b.nop()
+    assert b.next_pc == 1
+    b.nop()
+    assert len(b) == 2
+
+
+def test_call_ret_roundtrip_structure():
+    b = ProgramBuilder()
+    b.call("fn")
+    b.halt()
+    b.label("fn")
+    b.movi(0, 7)
+    b.ret()
+    p = b.build()
+    assert p[0].op == Opcode.CALL and p[0].target == 2
+    assert p[3].op == Opcode.RET

@@ -1,0 +1,53 @@
+"""Unit tests for the static Instruction representation."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+
+
+def test_alu_requires_destination():
+    with pytest.raises(ValueError):
+        Instruction(op=Opcode.ADD, src1=1, src2=2)
+
+
+def test_branch_requires_target():
+    with pytest.raises(ValueError):
+        Instruction(op=Opcode.BEQZ, src1=1)
+
+
+def test_ret_needs_no_target():
+    inst = Instruction(op=Opcode.RET)
+    assert inst.is_branch
+
+
+def test_store_data_register_is_a_source():
+    inst = Instruction(op=Opcode.STORE, dst=3, src1=1, src2=2, scale=8)
+    assert set(inst.source_regs()) == {1, 2, 3}
+    assert inst.is_store and inst.is_mem and not inst.writes_reg
+
+
+def test_load_sources_exclude_destination():
+    inst = Instruction(op=Opcode.LOAD, dst=5, src1=1, imm=8)
+    assert inst.source_regs() == (1,)
+    assert inst.is_load and inst.writes_reg
+
+
+def test_movi_has_no_sources():
+    inst = Instruction(op=Opcode.MOVI, dst=2, imm=42)
+    assert inst.source_regs() == ()
+
+
+def test_cond_branch_properties():
+    inst = Instruction(op=Opcode.BNEZ, src1=4, target=0)
+    assert inst.is_cond_branch and inst.is_branch
+    assert not inst.is_mem
+    assert inst.source_regs() == (4,)
+
+
+def test_instructions_are_hashable_and_frozen():
+    a = Instruction(op=Opcode.ADD, dst=0, src1=1, src2=2)
+    b = Instruction(op=Opcode.ADD, dst=0, src1=1, src2=2)
+    assert a == b
+    assert hash(a) == hash(b)
+    with pytest.raises(Exception):
+        a.dst = 9  # frozen dataclass

@@ -1,0 +1,62 @@
+"""Unit tests for opcode classification and latency tables."""
+
+from repro.isa import Opcode
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    EXEC_LATENCY,
+    WRITER_OPS,
+    is_branch,
+    is_cond_branch,
+    is_load,
+    is_store,
+    writes_register,
+)
+
+
+def test_every_opcode_has_a_latency():
+    for op in Opcode:
+        assert op in EXEC_LATENCY, f"{op.name} missing from EXEC_LATENCY"
+        assert EXEC_LATENCY[op] >= 1
+
+
+def test_load_store_classification():
+    assert is_load(Opcode.LOAD)
+    assert not is_load(Opcode.STORE)
+    assert is_store(Opcode.STORE)
+    assert not is_store(Opcode.LOAD)
+    assert not is_load(Opcode.ADD)
+
+
+def test_branch_classification():
+    for op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.BLTZ, Opcode.BGEZ):
+        assert is_cond_branch(op)
+        assert is_branch(op)
+    for op in (Opcode.JMP, Opcode.CALL, Opcode.RET):
+        assert is_branch(op)
+        assert not is_cond_branch(op)
+    assert not is_branch(Opcode.ADD)
+
+
+def test_cond_branches_subset_of_branches():
+    assert COND_BRANCH_OPS < BRANCH_OPS
+
+
+def test_writer_classification():
+    assert writes_register(Opcode.LOAD)
+    assert writes_register(Opcode.ADD)
+    assert writes_register(Opcode.MOVI)
+    assert not writes_register(Opcode.STORE)
+    assert not writes_register(Opcode.BEQZ)
+    assert not writes_register(Opcode.NOP)
+    assert not writes_register(Opcode.HALT)
+
+
+def test_branches_and_writers_disjoint():
+    assert not (BRANCH_OPS & WRITER_OPS)
+
+
+def test_long_latency_ops_slower_than_simple_alu():
+    assert EXEC_LATENCY[Opcode.MUL] > EXEC_LATENCY[Opcode.ADD]
+    assert EXEC_LATENCY[Opcode.DIV] > EXEC_LATENCY[Opcode.MUL]
+    assert EXEC_LATENCY[Opcode.FDIV] > EXEC_LATENCY[Opcode.FMUL]

@@ -1,0 +1,75 @@
+"""Unit tests for Program construction and basic-block analysis."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Program, ProgramBuilder
+
+
+def _simple_loop() -> Program:
+    b = ProgramBuilder()
+    b.movi(1, 4)                  # 0
+    b.label("loop")
+    b.add(2, 2, imm=1)            # 1
+    b.sub(1, 1, imm=1)            # 2
+    b.bnez(1, "loop")             # 3
+    b.store(2, 1)                 # 4
+    b.halt()                      # 5
+    return b.build()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ValueError):
+        Program([])
+
+
+def test_out_of_range_target_rejected():
+    with pytest.raises(ValueError):
+        Program([Instruction(op=Opcode.JMP, target=99)])
+
+
+def test_out_of_range_label_rejected():
+    with pytest.raises(ValueError):
+        Program([Instruction(op=Opcode.NOP)], labels={"x": 5})
+
+
+def test_leaders_of_simple_loop():
+    p = _simple_loop()
+    # entry, branch target (1), branch fall-through (4)
+    assert p.leaders == frozenset({0, 1, 4})
+
+
+def test_basic_block_start_mapping():
+    p = _simple_loop()
+    assert p.basic_block_start(0) == 0
+    assert p.basic_block_start(2) == 1
+    assert p.basic_block_start(3) == 1
+    assert p.basic_block_start(5) == 4
+
+
+def test_basic_block_end():
+    p = _simple_loop()
+    assert p.basic_block_end(0) == 0     # block [0] ends before leader 1
+    assert p.basic_block_end(1) == 3     # block [1..3] ends at the branch
+    assert p.basic_block_end(4) == 5
+
+
+def test_block_end_at_program_end_without_branch():
+    b = ProgramBuilder()
+    b.movi(0, 1)
+    b.movi(1, 2)
+    b.halt()
+    p = b.build()
+    assert p.basic_block_end(0) == 2
+
+
+def test_len_and_indexing():
+    p = _simple_loop()
+    assert len(p) == 6
+    assert p[3].op == Opcode.BNEZ
+
+
+def test_disassemble_mentions_labels():
+    p = _simple_loop()
+    text = p.disassemble()
+    assert "loop:" in text
+    assert "bnez r1" in text

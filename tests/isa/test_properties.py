@@ -1,0 +1,94 @@
+"""Property-based tests for the ISA layer (hypothesis).
+
+These check structural invariants of the dynamic trace for randomly
+generated (but always-terminating) programs: sequence numbering, dataflow
+edge sanity, and agreement between the trace's recorded dependencies and
+an independent recomputation.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.isa import NUM_ARCH_REGS, Opcode, ProgramBuilder, execute
+
+_REG = st.integers(min_value=0, max_value=NUM_ARCH_REGS - 1)
+_IMM = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def straightline_program(draw):
+    """A random straight-line program of ALU/memory ops ending in HALT."""
+    b = ProgramBuilder()
+    n = draw(st.integers(min_value=1, max_value=40))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["alu", "movi", "load", "store"]))
+        if kind == "movi":
+            b.movi(draw(_REG), draw(_IMM))
+        elif kind == "alu":
+            op = draw(st.sampled_from(["add", "sub", "mul", "xor", "and_", "or_"]))
+            getattr(b, op)(draw(_REG), draw(_REG), draw(_REG))
+        elif kind == "load":
+            b.load(draw(_REG), base=draw(_REG), imm=draw(_IMM) * 8)
+        else:
+            b.store(draw(_REG), base=draw(_REG), imm=draw(_IMM) * 8)
+    b.halt()
+    return b.build()
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_trace_seq_is_dense_program_order(program):
+    trace = execute(program)
+    assert [u.seq for u in trace] == list(range(len(program)))
+    assert [u.pc for u in trace] == list(range(len(program)))
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_dataflow_edges_point_backwards_to_real_writers(program):
+    trace = execute(program)
+    for uop in trace:
+        for dep in uop.src_deps:
+            assert 0 <= dep < uop.seq
+            producer = trace[dep]
+            assert producer.writes_reg
+            assert producer.dst in uop.srcs
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_dataflow_edges_match_independent_recomputation(program):
+    trace = execute(program)
+    last_writer = {}
+    for uop in trace:
+        expected = tuple(dict.fromkeys(
+            last_writer[r] for r in uop.srcs if r in last_writer))
+        assert uop.src_deps == expected
+        if uop.writes_reg:
+            last_writer[uop.dst] = uop.seq
+
+
+@given(straightline_program())
+@settings(max_examples=60, deadline=None)
+def test_store_dep_is_youngest_older_store_same_address(program):
+    trace = execute(program)
+    last_store = {}
+    for uop in trace:
+        if uop.is_load:
+            assert uop.store_dep == last_store.get(uop.mem_addr, -1)
+        if uop.is_store:
+            last_store[uop.mem_addr] = uop.seq
+
+
+@given(straightline_program(), st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=30, deadline=None)
+def test_register_values_stay_in_64_bits(program, seed_value):
+    from repro.isa.functional import FunctionalMachine
+
+    machine = FunctionalMachine(program, {0: seed_value})
+    while not machine.halted:
+        machine.step()
+    for value in machine.regs:
+        assert 0 <= value < 2**64
+    for value in machine.memory.values():
+        assert 0 <= value < 2**64

@@ -1,0 +1,115 @@
+"""Property-based tests: the cache against a reference model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import CacheConfig
+from repro.memory import Cache
+
+_LINE = st.integers(min_value=0, max_value=255)
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["lookup", "fill", "invalidate", "dirty"]),
+              _LINE),
+    min_size=1, max_size=300)
+
+
+def make_cache(ways=2, sets=4):
+    return Cache(CacheConfig(size_bytes=ways * sets * 64, ways=ways,
+                             latency=1))
+
+
+class ReferenceLRU:
+    """Dict-of-lists reference model for a set-associative LRU cache."""
+
+    def __init__(self, ways, sets):
+        self.ways = ways
+        self.sets = sets
+        self.contents = {i: [] for i in range(sets)}   # MRU at end
+
+    def _set(self, line):
+        return line % self.sets
+
+    def lookup(self, line):
+        bucket = self.contents[self._set(line)]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return True
+        return False
+
+    def fill(self, line):
+        bucket = self.contents[self._set(line)]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        evicted = None
+        if len(bucket) == self.ways:
+            evicted = bucket.pop(0)
+        bucket.append(line)
+        return evicted
+
+    def invalidate(self, line):
+        bucket = self.contents[self._set(line)]
+        if line in bucket:
+            bucket.remove(line)
+            return True
+        return False
+
+    def resident(self):
+        return {line for bucket in self.contents.values()
+                for line in bucket}
+
+
+@given(_OPS)
+@settings(max_examples=120, deadline=None)
+def test_cache_matches_reference_lru(ops):
+    ways, sets = 2, 4
+    cache = make_cache(ways, sets)
+    ref = ReferenceLRU(ways, sets)
+    for op, line in ops:
+        if op == "lookup":
+            assert cache.lookup(line) == ref.lookup(line)
+        elif op == "fill":
+            got = cache.fill(line)
+            expected = ref.fill(line)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got[0] == expected
+        elif op == "invalidate":
+            assert cache.invalidate(line) == ref.invalidate(line)
+        else:  # dirty
+            assert cache.mark_dirty(line) == (line in ref.resident())
+    # Final contents agree.
+    for line in range(256):
+        assert cache.probe(line) == (line in ref.resident())
+
+
+@given(_OPS)
+@settings(max_examples=80, deadline=None)
+def test_cache_capacity_never_exceeded(ops):
+    ways, sets = 2, 4
+    cache = make_cache(ways, sets)
+    inserted = set()
+    for op, line in ops:
+        if op == "fill":
+            cache.fill(line)
+            inserted.add(line)
+    resident = [line for line in range(256) if cache.probe(line)]
+    assert len(resident) <= ways * sets
+    assert set(resident) <= inserted
+
+
+@given(_OPS)
+@settings(max_examples=80, deadline=None)
+def test_stats_identities(ops):
+    cache = make_cache()
+    for op, line in ops:
+        if op == "lookup":
+            cache.lookup(line)
+        elif op == "fill":
+            cache.fill(line)
+    assert cache.accesses == cache.hits + cache.misses
+    assert cache.dirty_evictions <= cache.evictions
+    assert cache.useful_prefetches <= cache.prefetch_fills + cache.hits

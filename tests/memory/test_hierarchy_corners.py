@@ -1,0 +1,90 @@
+"""Corner-case tests for the memory hierarchy."""
+
+from repro.config import PrefetcherConfig, SimConfig
+from repro.memory import MemoryHierarchy
+
+
+def make_hierarchy(prefetch=False):
+    cfg = SimConfig.baseline()
+    cfg.prefetcher = PrefetcherConfig(enabled=prefetch)
+    return MemoryHierarchy(cfg)
+
+
+def test_cold_ifetch_goes_to_dram_and_warms_all_levels():
+    h = make_hierarchy()
+    first = h.ifetch(0, pc_line=100)
+    assert first > 40                       # DRAM round trip
+    assert h.l1i.probe(100)
+    assert h.llc.probe(100)
+    second = h.ifetch(first + 1, pc_line=100)
+    assert second == first + 1 + h.l1i.latency
+
+
+def test_ifetch_llc_hit_path():
+    h = make_hierarchy()
+    # Warm the LLC with a data access to the same line.
+    r = h.load(0, 100 * 64)
+    # Evict from L1I impossible (never there); ifetch should hit LLC.
+    t = h.ifetch(r.completion + 1, pc_line=100)
+    assert t == r.completion + 1 + h.l1i.latency + h.llc.latency
+
+
+def test_store_commit_hits_llc_without_dram():
+    h = make_hierarchy()
+    r = h.load(0, 0x9000)                   # warm LLC + L1
+    # Evict from L1 with conflicting loads.
+    line = h.line_of(0x9000)
+    cycle = r.completion + 1
+    for way in range(1, h.l1d.ways + 2):
+        rr = h.load(cycle, (line + way * h.l1d.num_sets) * 64)
+        if rr:
+            cycle = rr.completion + 1
+    reads_before = h.dram.total_reads
+    h.store_commit(cycle, 0x9000)           # LLC hit: no RFO to DRAM
+    assert h.dram.total_reads == reads_before
+
+
+def test_load_to_dirty_line_after_writeback_cycle():
+    h = make_hierarchy()
+    h.store_commit(0, 0x4000)
+    result = h.load(10, 0x4000)
+    assert result.level == "l1"
+
+
+def test_rewalking_warm_region_generates_no_demand_traffic():
+    h = make_hierarchy(prefetch=True)
+    # Pre-warm a run of lines.
+    cycle = 0
+    for i in range(12):
+        r = h.load(cycle, i * 64)
+        cycle = (r.completion if r else cycle) + 1
+    demand_before = h.dram.reads["demand"]
+    for i in range(12):
+        result = h.load(cycle + 500 + i, i * 64)
+        assert result.level in ("l1", "llc")
+    # Resident lines are never re-fetched from DRAM (the prefetcher may
+    # legitimately extend *forward* coverage, but demand stays quiet).
+    assert h.dram.reads["demand"] == demand_before
+
+
+def test_reset_stats_clears_everything():
+    h = make_hierarchy(prefetch=True)
+    for i in range(6):
+        h.load(i, i * 64)
+    h.store_commit(100, 0x8000)
+    h.reset_stats()
+    assert h.demand_loads == 0
+    assert h.store_commits == 0
+    assert h.prefetches_issued == 0
+    assert h.dram.total_traffic == 0
+    assert h.l1d.accesses == 0
+
+
+def test_merged_llc_miss_attribution():
+    h = make_hierarchy()
+    first = h.load(0, 1 << 22)
+    # Evict line from L1 quickly? Instead: second request to same line
+    # while outstanding must merge and report llc_miss for training.
+    second = h.load(1, (1 << 22) + 32)
+    assert second.merged
+    assert second.llc_miss

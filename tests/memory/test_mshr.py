@@ -1,0 +1,52 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.memory import MSHRFile
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_allocate_lookup_merge():
+    m = MSHRFile(4)
+    m.allocate(0x10, completes_at=100)
+    assert m.lookup(0x10) == 100
+    assert m.merge(0x10) == 100
+    assert m.merges == 1
+    assert m.lookup(0x20) is None
+
+
+def test_duplicate_allocation_rejected():
+    m = MSHRFile(4)
+    m.allocate(0x10, 100)
+    with pytest.raises(ValueError):
+        m.allocate(0x10, 200)
+
+
+def test_capacity_enforced():
+    m = MSHRFile(2)
+    m.allocate(1, 10)
+    m.allocate(2, 10)
+    assert not m.can_allocate()
+    with pytest.raises(RuntimeError):
+        m.allocate(3, 10)
+
+
+def test_expire_frees_entries():
+    m = MSHRFile(2)
+    m.allocate(1, 10)
+    m.allocate(2, 20)
+    m.expire(10)
+    assert m.lookup(1) is None
+    assert m.lookup(2) == 20
+    assert m.can_allocate()
+    assert len(m) == 1
+
+
+def test_expire_on_empty_is_noop():
+    m = MSHRFile(2)
+    m.expire(1000)
+    assert len(m) == 0

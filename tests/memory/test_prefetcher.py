@@ -1,0 +1,109 @@
+"""Unit tests for the stream prefetcher with feedback throttling."""
+
+from repro.config import PrefetcherConfig
+from repro.memory import StreamPrefetcher
+
+
+def make_pf(**overrides) -> StreamPrefetcher:
+    cfg = PrefetcherConfig(**overrides)
+    return StreamPrefetcher(cfg)
+
+
+def test_disabled_prefetcher_is_silent():
+    pf = make_pf(enabled=False)
+    for line in range(10):
+        assert pf.on_access(line, was_miss=True) == []
+
+
+def test_stream_trains_after_consistent_misses():
+    pf = make_pf()
+    assert pf.on_access(100, True) == []     # allocate
+    assert pf.on_access(101, True) == []     # direction observed
+    issued = pf.on_access(102, True)         # trained, issues
+    assert issued, "trained stream should issue prefetches"
+    assert all(line > 102 for line in issued)
+    assert pf.trainings == 1
+
+
+def test_descending_stream_trains_too():
+    pf = make_pf()
+    pf.on_access(500, True)
+    pf.on_access(499, True)
+    issued = pf.on_access(498, True)
+    assert issued
+    assert all(line < 498 for line in issued)
+
+
+def test_degree_controls_issue_count():
+    pf = make_pf(initial_degree=3)
+    pf.on_access(10, True)
+    pf.on_access(11, True)
+    issued = pf.on_access(12, True)
+    assert len(issued) == 3
+
+
+def test_prefetches_do_not_repeat():
+    pf = make_pf(initial_degree=2)
+    pf.on_access(10, True)
+    pf.on_access(11, True)
+    first = pf.on_access(12, True)
+    second = pf.on_access(13, True)
+    assert not set(first) & set(second)
+
+
+def test_max_distance_bound():
+    pf = make_pf(initial_degree=4, max_distance=3)
+    pf.on_access(10, True)
+    pf.on_access(11, True)
+    issued = []
+    for line in range(12, 15):
+        issued.extend(pf.on_access(line, True))
+    for line, pfs in zip(range(12, 15), [issued]):
+        pass
+    assert all(p <= 14 + 3 for p in issued)
+
+
+def test_random_misses_do_not_train():
+    pf = make_pf()
+    import random
+    rng = random.Random(1)
+    issued = []
+    for _ in range(50):
+        issued.extend(pf.on_access(rng.randrange(1_000_000), True))
+    # Random far-apart addresses allocate streams but should rarely train.
+    assert len(issued) <= 4
+
+
+def test_feedback_throttles_down_on_useless_prefetches():
+    pf = make_pf(initial_degree=2, feedback_interval=16,
+                 low_accuracy=0.5, min_degree=1)
+    line = 0
+    pf.on_access(line, True)
+    pf.on_access(line + 1, True)
+    # Issue many prefetches, never report any useful.
+    for i in range(2, 40):
+        pf.on_access(line + i, True)
+    assert pf.degree == 1
+    assert pf.degree_decreases >= 1
+
+
+def test_feedback_throttles_up_on_accurate_prefetches():
+    pf = make_pf(initial_degree=2, feedback_interval=16,
+                 high_accuracy=0.5, max_degree=4)
+    pf.on_access(0, True)
+    pf.on_access(1, True)
+    for i in range(2, 40):
+        for _ in pf.on_access(i, True):
+            pf.on_useful_prefetch()
+    assert pf.degree > 2
+    assert pf.degree_increases >= 1
+
+
+def test_accuracy_property():
+    pf = make_pf()
+    pf.on_access(0, True)
+    pf.on_access(1, True)
+    issued = pf.on_access(2, True)
+    assert pf.accuracy == 0.0
+    pf.on_useful_prefetch()
+    assert 0 < pf.accuracy <= 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def test_lru_evicts_least_recently_used():
+    lru = LRUPolicy(4)
+    for way in (0, 1, 2, 3):
+        lru.on_access(way)
+    assert lru.victim() == 0
+    lru.on_access(0)
+    assert lru.victim() == 1
+
+
+def test_lru_hit_refreshes_recency():
+    lru = LRUPolicy(2)
+    lru.on_access(0)
+    lru.on_access(1)
+    lru.on_access(0)   # refresh way 0
+    assert lru.victim() == 1
+
+
+def test_fifo_ignores_hits():
+    fifo = FIFOPolicy(2)
+    fifo.on_access(0)
+    fifo.on_access(1)
+    fifo.on_access(0)  # hit should not change order
+    assert fifo.victim() == 0
+    assert fifo.victim() == 1
+    assert fifo.victim() == 0
+
+
+def test_random_is_seeded_and_in_range():
+    a = RandomPolicy(8, seed=7)
+    b = RandomPolicy(8, seed=7)
+    seq_a = [a.victim() for _ in range(20)]
+    seq_b = [b.victim() for _ in range(20)]
+    assert seq_a == seq_b
+    assert all(0 <= v < 8 for v in seq_a)
+
+
+def test_factory():
+    assert isinstance(make_policy("lru", 4), LRUPolicy)
+    assert isinstance(make_policy("fifo", 4), FIFOPolicy)
+    assert isinstance(make_policy("random", 4), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("plru", 4)

@@ -1,0 +1,146 @@
+"""Behavioural tests for the Precise Runahead pipeline."""
+
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.isa import ProgramBuilder, execute
+from repro.runahead import PREPipeline
+
+IDX_BASE = 1 << 24
+BIG_BASE = 1 << 26
+N = 1 << 14
+
+
+def miss_heavy_workload(iters=900, filler=20, seed=7):
+    rng = random.Random(seed)
+    mem = {IDX_BASE + i * 8: rng.randrange(1 << 20) for i in range(N)}
+    b = ProgramBuilder()
+    b.movi(1, iters)
+    b.movi(2, IDX_BASE)
+    b.movi(3, BIG_BASE)
+    b.movi(4, 0)
+    b.label("loop")
+    b.load(5, base=2, index=4, scale=8)
+    b.load(6, base=3, index=5, scale=8)
+    b.add(7, 7, 6)
+    for _ in range(filler):
+        b.add(8, 8, imm=3)
+        b.mul(9, 8, imm=5)
+        b.add(10, 9, imm=1)
+    b.add(4, 4, imm=1)
+    b.and_(4, 4, imm=N - 1)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    program = b.build()
+    trace = execute(program, mem, max_uops=400_000)
+    return program, trace
+
+
+@pytest.fixture(scope="module")
+def pre_runs():
+    program, trace = miss_heavy_workload()
+    base = BaselinePipeline(trace, SimConfig.baseline()).run()
+    pipe = PREPipeline(trace, SimConfig.with_pre(), program)
+    pre = pipe.run()
+    return program, trace, base, pre, pipe
+
+
+def test_requires_pre_enabled_config():
+    program, trace = miss_heavy_workload(iters=5)
+    with pytest.raises(ValueError):
+        PREPipeline(trace, SimConfig.baseline(), program)
+
+
+def test_all_uops_retire(pre_runs):
+    _, trace, _, pre, _ = pre_runs
+    assert pre.retired_uops == len(trace)
+
+
+def test_runahead_engages_on_full_window_stalls(pre_runs):
+    _, _, _, pre, pipe = pre_runs
+    assert pre.counters["runahead_intervals"] > 0
+    assert pre.counters["runahead_uops"] > 0
+    assert pre.counters["runahead_prefetches"] > 0
+    assert len(pipe.sst) > 0
+
+
+def test_sst_captures_the_stalling_load(pre_runs):
+    program, _, _, _, pipe = pre_runs
+    # pc 5 is the LLC-missing load (big[idx]).
+    critical_load_pc = 5
+    assert critical_load_pc in pipe.sst
+
+
+def test_runahead_generates_extra_traffic(pre_runs):
+    _, _, base, pre, _ = pre_runs
+    assert sum(pre.dram_reads.values()) > sum(base.dram_reads.values())
+    assert pre.dram_reads["runahead"] > 0
+
+
+def test_some_chains_are_stale(pre_runs):
+    _, _, _, pre, _ = pre_runs
+    assert pre.counters["runahead_wrong_address"] > 0
+    # But most chains are correct (the SST slices are simple).
+    assert pre.counters["runahead_wrong_address"] < \
+        pre.counters["runahead_prefetches"]
+
+
+def test_mlp_inflated_relative_to_baseline(pre_runs):
+    """Fig. 14: PRE's MLP rises, partly from useless wrong-path loads."""
+    _, _, base, pre, _ = pre_runs
+    assert pre.mlp > base.mlp
+
+
+def test_deterministic_with_same_seed(pre_runs):
+    program, trace, _, pre, _ = pre_runs
+    again = PREPipeline(trace, SimConfig.with_pre(), program).run()
+    assert again.cycles == pre.cycles
+    assert dict(again.counters) == dict(pre.counters)
+
+
+def test_seed_changes_wrong_address_pattern():
+    program, trace = miss_heavy_workload(iters=300)
+    cfg_a = SimConfig.with_pre()
+    cfg_b = SimConfig.with_pre()
+    cfg_b.seed = 999
+    a = PREPipeline(trace, cfg_a, program).run()
+    b = PREPipeline(trace, cfg_b, program).run()
+    assert a.counters["runahead_prefetches"] > 0
+    # Different seeds flip different chains; totals may differ slightly.
+    assert b.counters["runahead_prefetches"] > 0
+
+
+def test_perfect_chains_beat_stale_chains():
+    program, trace = miss_heavy_workload()
+    perfect_cfg = SimConfig.with_pre()
+    perfect_cfg.pre.stale_chain_fraction = 0.0
+    stale_cfg = SimConfig.with_pre()
+    stale_cfg.pre.stale_chain_fraction = 0.6
+    perfect = PREPipeline(trace, perfect_cfg, program).run()
+    stale = PREPipeline(trace, stale_cfg, program).run()
+    assert perfect.ipc > stale.ipc
+    assert perfect.total_traffic < stale.total_traffic
+
+
+def test_no_runahead_without_stalls():
+    """An L1-resident loop never stalls the window: PRE must stay out."""
+    b = ProgramBuilder()
+    b.movi(1, 3000)
+    b.movi(2, 1 << 16)
+    b.label("loop")
+    b.load(3, base=2)
+    b.add(4, 4, 3)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    program = b.build()
+    trace = execute(program, max_uops=100_000)
+    result = PREPipeline(trace, SimConfig.with_pre(), program).run()
+    # At most the single cold-start miss can stall the window; no
+    # steady-state runahead activity and no runahead traffic.
+    assert result.counters["runahead_intervals"] <= 1
+    assert result.dram_reads["runahead"] == 0

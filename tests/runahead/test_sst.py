@@ -1,0 +1,53 @@
+"""Unit tests for the Stalling Slice Table."""
+
+import pytest
+
+from repro.runahead import StallingSliceTable
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        StallingSliceTable(0)
+
+
+def test_add_and_contains():
+    sst = StallingSliceTable(4)
+    sst.add(0x10)
+    assert 0x10 in sst
+    assert 0x20 not in sst
+    assert len(sst) == 1
+
+
+def test_duplicate_add_is_idempotent():
+    sst = StallingSliceTable(4)
+    sst.add(0x10)
+    sst.add(0x10)
+    assert len(sst) == 1
+    assert sst.insertions == 1
+
+
+def test_fifo_eviction_when_full():
+    sst = StallingSliceTable(2)
+    sst.add(1)
+    sst.add(2)
+    sst.add(3)
+    assert 1 not in sst
+    assert 2 in sst and 3 in sst
+    assert sst.evictions == 1
+
+
+def test_refresh_protects_from_eviction():
+    sst = StallingSliceTable(2)
+    sst.add(1)
+    sst.add(2)
+    sst.add(1)    # refresh
+    sst.add(3)    # evicts 2, not 1
+    assert 1 in sst
+    assert 2 not in sst
+
+
+def test_pcs_listing():
+    sst = StallingSliceTable(4)
+    for pc in (5, 7, 9):
+        sst.add(pc)
+    assert sst.pcs() == [5, 7, 9]

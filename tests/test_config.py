@@ -1,0 +1,98 @@
+"""Unit tests for the configuration layer (Table 1 defaults)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CDFConfig,
+    CoreConfig,
+    DRAMConfig,
+    PREConfig,
+    PrefetcherConfig,
+    SimConfig,
+)
+
+
+def test_baseline_matches_table1_core():
+    core = SimConfig.baseline().core
+    assert (core.freq_ghz, core.issue_width) == (3.2, 6)
+    assert (core.rob_size, core.rs_size) == (352, 160)
+    assert (core.lq_size, core.sq_size) == (128, 72)
+
+
+def test_mode_selection_helpers():
+    assert SimConfig.baseline().mode() == "baseline"
+    assert SimConfig.with_cdf().mode() == "cdf"
+    assert SimConfig.with_pre().mode() == "pre"
+    assert SimConfig.with_cdf().cdf.enabled
+    assert not SimConfig.with_cdf().pre.enabled
+    assert SimConfig.with_pre().pre.enabled
+
+
+def test_cache_num_sets():
+    cfg = CacheConfig(size_bytes=32 * 1024, ways=8, latency=2)
+    assert cfg.num_sets == 64
+    llc = CacheConfig(size_bytes=1024 * 1024, ways=16, latency=18)
+    assert llc.num_sets == 1024
+
+
+def test_core_scaling_is_proportional():
+    core = CoreConfig()
+    scaled = core.scaled(704)
+    assert scaled.rob_size == 704
+    assert scaled.rs_size == pytest.approx(320, abs=2)
+    assert scaled.lq_size == pytest.approx(256, abs=2)
+    assert scaled.sq_size == pytest.approx(144, abs=2)
+    assert scaled.num_phys_regs > core.num_phys_regs
+    # Original untouched (dataclasses.replace semantics).
+    assert core.rob_size == 352
+
+
+def test_core_scaling_down_keeps_minimums():
+    small = CoreConfig().scaled(16)
+    assert small.rs_size >= 16
+    assert small.lq_size >= 8
+    assert small.sq_size >= 8
+
+
+def test_dram_core_cycles_rounds_up():
+    dram = DRAMConfig()
+    assert dram.core_cycles(16, 3.2) == 43     # 16 * 2.667 = 42.67 -> 43
+    assert dram.core_cycles(0, 3.2) == 0
+    assert dram.total_banks == 2 * 1 * 4 * 4
+
+
+def test_cdf_defaults_match_paper_text():
+    cdf = CDFConfig()
+    assert cdf.fill_buffer_entries == 1024
+    assert cdf.fill_interval_uops == 10_000
+    assert cdf.fill_latency_cycles == 1200
+    assert cdf.mask_cache_reset_interval == 200_000
+    assert cdf.min_critical_fraction == pytest.approx(0.02)
+    assert cdf.max_critical_fraction == pytest.approx(0.50)
+    assert cdf.stall_cycle_threshold == 4
+    assert cdf.rob_partition_step == 8
+    assert cdf.lsq_partition_step == 2
+    assert cdf.uops_per_trace == 8
+    assert cdf.mark_branches_critical
+
+
+def test_pre_defaults():
+    pre = PREConfig()
+    assert pre.enter_exit_overhead > 0
+    assert 0.0 <= pre.stale_chain_fraction <= 1.0
+    assert pre.max_runahead_distance > 0
+
+
+def test_prefetcher_defaults():
+    pf = PrefetcherConfig()
+    assert pf.enabled
+    assert pf.num_streams == 64
+    assert pf.min_degree <= pf.initial_degree <= pf.max_degree
+
+
+def test_configs_are_independent_instances():
+    a = SimConfig.baseline()
+    b = SimConfig.baseline()
+    a.core.rob_size = 10
+    assert b.core.rob_size == 352

@@ -1,0 +1,78 @@
+"""Unit tests for the workload-construction helpers."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, execute
+from repro.workloads import (
+    build_pointer_ring,
+    emit_filler,
+    fill_bits,
+    fill_random_words,
+    make_rng,
+)
+from repro.workloads.base import Workload, scaled
+
+
+def test_fill_random_words_range_and_count():
+    memory = {}
+    fill_random_words(memory, 1000, 64, 50, make_rng(1))
+    assert len(memory) == 64
+    assert all(0 <= v < 50 for v in memory.values())
+    assert set(memory) == {1000 + i * 8 for i in range(64)}
+
+
+def test_fill_bits_bias():
+    memory = {}
+    fill_bits(memory, 0, 4000, 0.25, make_rng(2))
+    ones = sum(memory.values())
+    assert 0.18 < ones / 4000 < 0.32
+    assert set(memory.values()) <= {0, 1}
+
+
+def test_pointer_ring_is_a_single_cycle():
+    memory = {}
+    head = build_pointer_ring(memory, 1 << 20, nodes=64, node_bytes=64,
+                              rng=make_rng(3))
+    seen = set()
+    node = head
+    for _ in range(64):
+        assert node not in seen
+        seen.add(node)
+        node = memory[node]
+    assert node == head              # closes after exactly `nodes` hops
+    assert len(seen) == 64
+    # Payload words exist alongside the links.
+    assert all((addr + 8) in memory for addr in seen)
+
+
+def test_emit_filler_has_no_loop_carried_dependences():
+    b = ProgramBuilder()
+    b.movi(1, 50)
+    b.label("loop")
+    emit_filler(b, 12, fp=True)
+    b.sub(1, 1, imm=1)
+    b.bnez(1, "loop")
+    b.halt()
+    trace = execute(b.build())
+    # No filler uop may depend on a uop from a previous iteration
+    # (other than the loop counter, regs >= 20 restart from movi).
+    body = 12 + 2
+    for uop in trace:
+        if uop.dst is not None and uop.dst >= 20:
+            for dep in uop.src_deps:
+                assert uop.seq - dep < body, "loop-carried filler chain"
+
+
+def test_scaled_floors():
+    assert scaled(100, 1.0) == 100
+    assert scaled(100, 0.25) == 25
+    assert scaled(100, 0.0001, minimum=8) == 8
+
+
+def test_workload_warmup_uops():
+    b = ProgramBuilder()
+    b.movi(1, 1)
+    b.halt()
+    workload = Workload(name="w", program=b.build(), memory={},
+                        max_uops=10, warmup_fraction=0.5)
+    assert workload.warmup_uops() == len(workload.trace()) // 2

@@ -1,0 +1,46 @@
+"""Unit tests for the multi-phase (SimPoint-study) workloads."""
+
+from repro.workloads.phased import (
+    build_phased,
+    build_phased_compute_only,
+    build_phased_memory_only,
+)
+
+SMALL = 0.15
+
+
+def test_all_three_variants_build_and_halt():
+    for builder in (build_phased, build_phased_memory_only,
+                    build_phased_compute_only):
+        workload = builder(scale=SMALL)
+        trace = workload.trace()
+        assert len(trace) > 100
+
+
+def test_whole_program_contains_both_phases():
+    whole = build_phased(scale=SMALL).trace()
+    memory_only = build_phased_memory_only(scale=SMALL).trace()
+    compute_only = build_phased_compute_only(scale=SMALL).trace()
+    # The phased program is roughly the concatenation of the two.
+    assert len(whole) > len(memory_only)
+    assert len(whole) > len(compute_only)
+    assert abs(len(whole) - (len(memory_only) + len(compute_only))) < 50
+
+
+def test_memory_phase_misses_compute_phase_does_not():
+    memory_only = build_phased_memory_only(scale=SMALL)
+    compute_only = build_phased_compute_only(scale=SMALL)
+    big_loads_mem = sum(1 for u in memory_only.trace()
+                        if u.is_load and u.mem_addr >= (1 << 26))
+    big_loads_cmp = sum(1 for u in compute_only.trace()
+                        if u.is_load and u.mem_addr is not None
+                        and u.mem_addr >= (1 << 26))
+    assert big_loads_mem > 50
+    assert big_loads_cmp == 0
+
+
+def test_phases_are_deterministic():
+    a = build_phased(scale=SMALL, seed=3).trace()
+    b = build_phased(scale=SMALL, seed=3).trace()
+    assert len(a) == len(b)
+    assert all(x.mem_addr == y.mem_addr for x, y in zip(a[:300], b[:300]))

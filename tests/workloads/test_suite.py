@@ -1,0 +1,152 @@
+"""Unit tests for the workload suite: every kernel builds, runs, halts,
+and exhibits the memory/branch personality its paper role requires."""
+
+import pytest
+
+from repro.isa import execute, trace_summary
+from repro.workloads import (
+    BRANCH_SENSITIVE,
+    NEUTRAL,
+    PRE_FAVOURABLE,
+    SUITE,
+    get_workload,
+    suite_names,
+)
+
+SMALL = 0.1
+
+
+def test_suite_matches_papers_benchmark_set():
+    expected = {
+        "astar", "mcf", "soplex", "milc", "bzip", "nab", "lbm",
+        "libquantum", "cactuBSSN", "omnetpp", "zeusmp", "GemsFDTD",
+        "fotonik3d", "roms", "leslie3d", "sphinx", "wrf", "parest",
+    }
+    assert set(suite_names()) == expected
+
+
+def test_families_are_subsets_of_the_suite():
+    names = set(suite_names())
+    for family in (BRANCH_SENSITIVE, PRE_FAVOURABLE, NEUTRAL):
+        assert set(family) <= names
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_workload("gcc")
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_every_kernel_builds_and_traces(name):
+    workload = get_workload(name, scale=SMALL)
+    trace = workload.trace()
+    assert len(trace) > 200, f"{name} trace too short"
+    assert workload.name == name
+    assert 0.0 < workload.warmup_fraction < 1.0
+    assert workload.warmup_uops() < len(trace)
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_traces_are_cached(name):
+    workload = get_workload(name, scale=SMALL)
+    assert workload.trace() is workload.trace()
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_scale_stretches_iteration_counts(name):
+    small = get_workload(name, scale=SMALL)
+    big = get_workload(name, scale=2 * SMALL)
+    assert len(big.trace()) > len(small.trace()) * 1.4
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_deterministic_for_fixed_seed(name):
+    a = get_workload(name, scale=SMALL, seed=7)
+    b = get_workload(name, scale=SMALL, seed=7)
+    ta, tb = a.trace(), b.trace()
+    assert len(ta) == len(tb)
+    assert all(x.pc == y.pc and x.mem_addr == y.mem_addr
+               for x, y in zip(ta[:500], tb[:500]))
+
+
+def test_seed_changes_data_dependent_behaviour():
+    a = get_workload("astar", scale=SMALL, seed=1)
+    b = get_workload("astar", scale=SMALL, seed=2)
+    addrs_a = [u.mem_addr for u in a.trace() if u.is_load][:200]
+    addrs_b = [u.mem_addr for u in b.trace() if u.is_load][:200]
+    assert addrs_a != addrs_b
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_kernels_contain_memory_operations(name):
+    summary = trace_summary(get_workload(name, scale=SMALL).trace())
+    assert summary["loads"] > 0
+
+
+def test_branch_sensitive_kernels_have_hard_branches():
+    """The family the paper credits to critical-branch marking must have
+    data-dependent conditional branches with mixed outcomes."""
+    for name in BRANCH_SENSITIVE:
+        trace = get_workload(name, scale=0.2).trace()
+        outcome_mix = {}
+        for uop in trace:
+            if uop.is_cond_branch:
+                taken, total = outcome_mix.get(uop.pc, (0, 0))
+                outcome_mix[uop.pc] = (taken + uop.taken, total + 1)
+        hard = [pc for pc, (taken, total) in outcome_mix.items()
+                if total >= 50 and 0.05 < taken / total < 0.95]
+        assert hard, f"{name} should contain a hard branch"
+
+
+def test_stencil_kernels_defeat_the_stream_prefetcher():
+    """PRE_FAVOURABLE kernels stride across prefetcher regions."""
+    for name in PRE_FAVOURABLE:
+        trace = get_workload(name, scale=SMALL).trace()
+        # Loads alternate across streams; group by 64MB stream region and
+        # look at the within-stream stride.
+        per_stream = {}
+        for uop in trace:
+            if uop.is_load:
+                per_stream.setdefault(uop.mem_addr >> 26, []).append(
+                    uop.mem_addr // 64)
+        deltas = set()
+        for lines in per_stream.values():
+            deltas.update(b - a for a, b in zip(lines, lines[1:])
+                          if 0 < b - a < 4096)
+        assert deltas, f"{name} should have strided loads"
+        assert min(deltas) >= 65, (
+            f"{name} stride {min(deltas)} lines would train the prefetcher")
+
+
+def test_nab_misses_are_distant_and_dependent():
+    trace = get_workload("nab", scale=0.3).trace()
+    pointer_loads = [u for u in trace if u.is_load]
+    # One pointer load per iteration, ~600 uops apart.
+    gaps = [b.seq - a.seq for a, b in zip(pointer_loads, pointer_loads[1:])]
+    assert min(gaps) > 400
+    # Serially dependent: each load's address chain reaches the previous.
+    second = pointer_loads[2]
+    frontier = set(second.src_deps)
+    reached = False
+    for _ in range(40):
+        new = set()
+        for seq in frontier:
+            if seq == pointer_loads[1].seq:
+                reached = True
+            new.update(trace[seq].src_deps)
+        frontier = new
+        if reached or not frontier:
+            break
+    assert reached, "nab loads should form a dependent chain"
+
+
+def test_lbm_is_prefetchable_streaming():
+    trace = get_workload("lbm", scale=SMALL).trace()
+    lines = [u.mem_addr // 64 for u in trace if u.is_load]
+    per_region = {}
+    for line in lines:
+        per_region.setdefault(line // 4096, []).append(line)
+    # Within each stream region, accesses are monotonically nondecreasing.
+    monotone = sum(1 for ls in per_region.values()
+                   if ls == sorted(ls) and len(ls) > 10)
+    assert monotone >= 3
