@@ -7,12 +7,27 @@ timed) and writes the paper-style table to ``benchmarks/results/``.
 ``REPRO_BENCH_SCALE`` scales workload iteration counts; the default of
 0.4 keeps the full harness in the minutes range. Use 1.0 to reproduce
 the numbers quoted in EXPERIMENTS.md.
+
+The figure drivers run through the experiment engine
+(``repro.harness.engine``), so the bench harness honours the engine's
+environment variables too:
+
+* ``REPRO_JOBS=N`` fans simulations out over N worker processes.
+* ``REPRO_CACHE_DIR`` relocates the persistent result cache.
+* ``REPRO_NO_CACHE=1`` forces every simulation to re-execute — set this
+  when the *timings* matter (a warm cache turns a figure bench into a
+  cache read, see docs/harness.md).
+
+A per-session engine summary (jobs, cache hits, simulated count) is
+printed at the end of the run so cache-assisted timings are visible.
 """
 
 import os
 import pathlib
 
 import pytest
+
+from repro.harness import get_engine
 
 #: Workload scale used by every figure bench. Larger scales give the CDF
 #: training structures (10k-uop fill intervals) more steady-state time and
@@ -40,3 +55,14 @@ def bench_once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return _run
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_session_summary():
+    """Report engine accounting once the bench session finishes, so it
+    is obvious when a figure's timing was served from the result cache
+    rather than simulated."""
+    yield
+    engine = get_engine()
+    if engine.stats.total:
+        print(f"\n{engine.summary()}")

@@ -5,8 +5,17 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim list
     repro-sim run astar --mode cdf --scale 0.5
     repro-sim compare astar mcf --scale 0.5
-    repro-sim figure fig13 --scale 0.6
+    repro-sim figure fig13 --scale 0.6 --jobs 4
+    repro-sim report --scale 0.6 --output report.md
+    repro-sim cache stats
     repro-sim disasm bzip
+
+Simulation commands accept ``--jobs N`` (or ``REPRO_JOBS``) to fan out
+across worker processes and ``--no-cache`` to bypass the persistent
+result cache under ``REPRO_CACHE_DIR`` (see docs/harness.md). Engine
+accounting (jobs run, cache hits, wall-clock) is printed to stderr so
+figure text on stdout stays byte-identical across serial, parallel, and
+warm-cache runs.
 """
 
 from __future__ import annotations
@@ -16,6 +25,12 @@ import sys
 from typing import List, Optional
 
 from .config import SimConfig
+from .harness import (
+    Job,
+    ResultCache,
+    configure,
+    get_engine,
+)
 from .harness import (
     ablation_critical_branches,
     build_report,
@@ -38,7 +53,6 @@ from .harness import (
     format_fig16,
     format_fig17,
     load_workload,
-    run_benchmark,
     table1_text,
 )
 from .harness.tables import render_table
@@ -72,9 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Criticality Driven Fetch (MICRO 2021) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Engine options shared by every simulating subcommand.
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1)")
+    engine_opts.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache ($REPRO_CACHE_DIR)")
+
     sub.add_parser("list", help="list the benchmark suite")
 
-    run = sub.add_parser("run", help="run one benchmark under one core")
+    run = sub.add_parser("run", help="run one benchmark under one core",
+                         parents=[engine_opts])
     run.add_argument("benchmark", choices=suite_names())
     run.add_argument("--mode", choices=("baseline", "cdf", "pre"),
                      default="cdf")
@@ -87,12 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dump all event counters")
 
     compare = sub.add_parser("compare",
-                             help="run benchmarks under all three cores")
+                             help="run benchmarks under all three cores",
+                             parents=[engine_opts])
     compare.add_argument("benchmarks", nargs="+", choices=suite_names())
     compare.add_argument("--scale", type=float, default=0.5)
     compare.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure = sub.add_parser("figure", help="regenerate a paper figure",
+                            parents=[engine_opts])
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", type=float, default=0.5)
 
@@ -100,12 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("benchmark", choices=suite_names())
 
     report = sub.add_parser(
-        "report", help="regenerate the full evaluation as Markdown")
+        "report", help="regenerate the full evaluation as Markdown",
+        parents=[engine_opts])
     report.add_argument("--scale", type=float, default=0.5)
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
     report.add_argument("--only", nargs="*", default=None,
                         help="limit to figure keys (fig13, fig17, ...)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
 
     return parser
 
@@ -131,8 +162,9 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     config = _make_config(args)
-    result = run_benchmark(args.benchmark, args.mode, scale=args.scale,
-                           seed=args.seed, config=config)
+    [result] = get_engine().run([
+        Job(args.benchmark, args.mode, scale=args.scale, seed=args.seed,
+            config=config)])
     print(result.summary())
     print(f"  energy: {result.energy_nj / 1000:.1f} uJ   "
           f"stall cycles: {result.full_window_stall_cycles}")
@@ -154,10 +186,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from .harness import run_comparison
+    by_name = run_comparison(args.benchmarks, scale=args.scale,
+                             seed=args.seed)
     for name in args.benchmarks:
-        results = {mode: run_benchmark(name, mode, scale=args.scale,
-                                       seed=args.seed)
-                   for mode in ("baseline", "cdf", "pre")}
+        results = by_name[name]
         base = results["baseline"]
         rows = [(mode, f"{r.ipc:.3f}", f"{r.speedup_over(base):.3f}x",
                  f"{r.mlp:.2f}", r.total_traffic,
@@ -201,8 +234,35 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    cache = ResultCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        print(render_table(
+            "result cache",
+            ("property", "value"),
+            [("directory", stats["root"]),
+             ("entries", stats["entries"]),
+             ("size", f"{stats['bytes'] / 1024:.1f} KiB")]))
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached result"
+          f"{'s' if removed != 1 else ''} from {cache.root}")
+    return 0
+
+
+#: Subcommands that simulate (and therefore configure/report the engine).
+_SIMULATING = ("run", "compare", "figure", "report")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command in _SIMULATING:
+        # Rebuild the default engine from the environment plus any
+        # --jobs/--no-cache overrides; stats start at zero so the
+        # summary below covers exactly this invocation.
+        configure(jobs=args.jobs,
+                  use_cache=False if args.no_cache else None)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
@@ -210,8 +270,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "disasm": cmd_disasm,
         "report": cmd_report,
+        "cache": cmd_cache,
     }
-    return handlers[args.command](args)
+    code = handlers[args.command](args)
+    if args.command in _SIMULATING:
+        # stderr, so stdout figure text stays byte-identical across
+        # serial / parallel / warm-cache runs.
+        print(get_engine().summary(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

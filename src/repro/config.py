@@ -22,7 +22,30 @@ of the paper specifies appears here with the paper's value as the default:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import typing
 from dataclasses import dataclass, field
+
+
+def _dataclass_from_dict(cls, data: dict):
+    """Rebuild a (possibly nested) config dataclass from a plain dict.
+
+    Unknown keys are ignored and missing keys fall back to the field
+    defaults, so configs serialized by older/newer code versions load
+    cleanly (the cache's code-version salt handles semantic drift).
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        ftype = hints.get(f.name)
+        if dataclasses.is_dataclass(ftype) and isinstance(value, dict):
+            value = _dataclass_from_dict(ftype, value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
 
 
 @dataclass
@@ -294,3 +317,28 @@ class SimConfig:
         if self.pre.enabled:
             return "pre"
         return "baseline"
+
+    # ------------------------------------------------ stable serialization
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested dataclasses become nested dicts)."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; tolerant of unknown/missing keys."""
+        return _dataclass_from_dict(SimConfig, data)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON rendering: sorted keys, no whitespace.
+
+        This is the representation the experiment engine hashes into
+        on-disk cache keys, so it must be byte-stable across processes
+        and Python versions for equal configs.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()

@@ -1,4 +1,5 @@
-"""Experiment harness: runners, sweeps, and figure drivers."""
+"""Experiment harness: runners, the parallel experiment engine, sweeps,
+and figure drivers. See docs/harness.md for the engine guide."""
 
 from .runner import (
     MODES,
@@ -6,6 +7,7 @@ from .runner import (
     geomean,
     load_workload,
     make_pipeline,
+    rob_stall_profile,
     run_benchmark,
     run_comparison,
     speedups,
@@ -17,9 +19,36 @@ __all__ = [
     "geomean",
     "load_workload",
     "make_pipeline",
+    "rob_stall_profile",
     "run_benchmark",
     "run_comparison",
     "speedups",
+]
+
+from .engine import (  # noqa: E402
+    Engine,
+    EngineStats,
+    Job,
+    ResultCache,
+    code_salt,
+    configure,
+    default_cache_dir,
+    default_jobs,
+    get_engine,
+    run_jobs,
+)
+
+__all__ += [
+    "Engine",
+    "EngineStats",
+    "Job",
+    "ResultCache",
+    "code_salt",
+    "configure",
+    "default_cache_dir",
+    "default_jobs",
+    "get_engine",
+    "run_jobs",
 ]
 
 from .experiments import (  # noqa: E402

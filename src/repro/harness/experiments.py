@@ -5,6 +5,12 @@ the paper's evaluation (see DESIGN.md Sec. 3) and returns a plain dict of
 results; the matching ``format_*`` helper renders it the way the paper
 reports it. The full-suite comparison runs are cached per (scale, seed)
 so the Fig. 13-16 drivers share one set of simulations.
+
+Every driver expands its work into engine jobs
+(:mod:`repro.harness.engine`), so figures parallelize across
+``REPRO_JOBS`` worker processes and completed points are memoized in the
+persistent result cache — a warm-cache ``repro-sim figure fig13`` rerun
+executes zero simulations.
 """
 
 from __future__ import annotations
@@ -12,15 +18,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import SimConfig
-from ..core import BaselinePipeline
 from ..energy import EnergyModel
-from ..stats import mark_critical_chains
 from ..workloads import DEFAULT_SEED, suite_names
+from .engine import Job, get_engine
 from .runner import (
     config_for_mode,
     geomean,
-    load_workload,
-    run_benchmark,
     run_comparison,
     speedups,
 )
@@ -47,22 +50,12 @@ def fig01_rob_distribution(names: Optional[Sequence[str]] = None,
     """Fraction of ROB slots holding *critical* uops during full-window
     stalls on the baseline core (paper Fig. 1: 10%-40% for most
     benchmarks, i.e. the window is mostly non-critical work)."""
-    fractions: Dict[str, float] = {}
-    for name in names or suite_names():
-        workload = load_workload(name, scale, seed)
-        trace = workload.trace()
-        config = config_for_mode("baseline")
-        pipeline = BaselinePipeline(trace, config, benchmark=name,
-                                    profile_rob_stalls=True)
-        pipeline.run()
-        if pipeline.profiler.stall_cycles == 0:
-            fractions[name] = 0.0
-            continue
-        roots = list(pipeline.llc_miss_load_seqs)
-        roots += pipeline.mispredicted_branch_seqs
-        critical = mark_critical_chains(trace, roots)
-        fractions[name] = pipeline.profiler.critical_fraction(critical)
-    return fractions
+    names = list(names or suite_names())
+    jobs = [Job(name, "baseline", scale=scale, seed=seed,
+                kind="rob_profile") for name in names]
+    profiles = get_engine().run(jobs)
+    return {name: profile["critical_fraction"]
+            for name, profile in zip(names, profiles)}
 
 
 def format_fig01(fractions: Dict[str, float]) -> str:
@@ -191,20 +184,25 @@ def fig17_scaling(rob_sizes: Sequence[int] = (192, 256, 352, 512),
     """IPC and energy of baseline vs CDF cores across ROB sizes, with the
     other window structures scaled proportionately (paper Fig. 17)."""
     names = list(names or suite_names())
-    data: Dict = {"rob_sizes": list(rob_sizes), "ipc": {}, "energy": {}}
+    jobs = []
     for rob in rob_sizes:
         for mode in ("baseline", "cdf"):
-            ipcs = []
-            energies = []
             for name in names:
                 config = config_for_mode(mode)
                 config.core = config.core.scaled(rob)
-                result = run_benchmark(name, mode, scale, seed,
-                                       config=config)
-                ipcs.append(result.ipc)
-                energies.append(result.energy_nj)
-            data["ipc"][(rob, mode)] = geomean(ipcs)
-            data["energy"][(rob, mode)] = geomean(energies)
+                jobs.append(Job(name, mode, scale=scale, seed=seed,
+                                config=config))
+    flat = get_engine().run(jobs)
+    data: Dict = {"rob_sizes": list(rob_sizes), "ipc": {}, "energy": {}}
+    index = 0
+    for rob in rob_sizes:
+        for mode in ("baseline", "cdf"):
+            results = flat[index:index + len(names)]
+            index += len(names)
+            data["ipc"][(rob, mode)] = geomean(
+                [result.ipc for result in results])
+            data["energy"][(rob, mode)] = geomean(
+                [result.energy_nj for result in results])
     return data
 
 
@@ -235,12 +233,16 @@ def ablation_critical_branches(names: Optional[Sequence[str]] = None,
     names = list(names or suite_names())
     results = get_comparison(names, scale, seed)
     with_branches = speedups(results, "cdf")
-    without: Dict[str, float] = {}
+    jobs = []
     for name in names:
         config = config_for_mode("cdf")
         config.cdf.mark_branches_critical = False
-        result = run_benchmark(name, "cdf", scale, seed, config=config)
-        without[name] = result.speedup_over(results[name]["baseline"])
+        jobs.append(Job(name, "cdf", scale=scale, seed=seed,
+                        config=config))
+    without = {
+        name: result.speedup_over(results[name]["baseline"])
+        for name, result in zip(names, get_engine().run(jobs))
+    }
     return {
         "with": with_branches,
         "without": without,
@@ -265,14 +267,19 @@ def ablation_partitioning(names: Sequence[str],
                           scale: float = 1.0,
                           seed: int = DEFAULT_SEED) -> Dict:
     """Sec. 3.5: dynamic vs static partitioning of the backend."""
-    out: Dict[str, Dict[str, float]] = {"dynamic": {}, "static": {}}
+    names = list(names)
+    static_config = config_for_mode("cdf")
+    static_config.cdf.dynamic_partitioning = False
+    jobs = []
     for name in names:
-        base = run_benchmark(name, "baseline", scale, seed)
-        dynamic = run_benchmark(name, "cdf", scale, seed)
-        static_config = config_for_mode("cdf")
-        static_config.cdf.dynamic_partitioning = False
-        static = run_benchmark(name, "cdf", scale, seed,
-                               config=static_config)
+        jobs.append(Job(name, "baseline", scale=scale, seed=seed))
+        jobs.append(Job(name, "cdf", scale=scale, seed=seed))
+        jobs.append(Job(name, "cdf", scale=scale, seed=seed,
+                        config=static_config))
+    flat = get_engine().run(jobs)
+    out: Dict[str, Dict[str, float]] = {"dynamic": {}, "static": {}}
+    for position, name in enumerate(names):
+        base, dynamic, static = flat[3 * position:3 * position + 3]
         out["dynamic"][name] = dynamic.speedup_over(base)
         out["static"][name] = static.speedup_over(base)
     out["geomean"] = {
@@ -295,14 +302,19 @@ def format_ablation_partitioning(data: Dict) -> str:
 def ablation_thresholds(names: Sequence[str], scale: float = 1.0,
                         seed: int = DEFAULT_SEED) -> Dict:
     """Sec. 3.2: strict-only vs adaptive strict/permissive selection."""
-    out: Dict[str, Dict[str, float]] = {"adaptive": {}, "strict_only": {}}
+    names = list(names)
+    strict_config = config_for_mode("cdf")
+    strict_config.cdf.low_coverage_fraction = 0.0   # never go permissive
+    jobs = []
     for name in names:
-        base = run_benchmark(name, "baseline", scale, seed)
-        adaptive = run_benchmark(name, "cdf", scale, seed)
-        strict_config = config_for_mode("cdf")
-        strict_config.cdf.low_coverage_fraction = 0.0   # never go permissive
-        strict = run_benchmark(name, "cdf", scale, seed,
-                               config=strict_config)
+        jobs.append(Job(name, "baseline", scale=scale, seed=seed))
+        jobs.append(Job(name, "cdf", scale=scale, seed=seed))
+        jobs.append(Job(name, "cdf", scale=scale, seed=seed,
+                        config=strict_config))
+    flat = get_engine().run(jobs)
+    out: Dict[str, Dict[str, float]] = {"adaptive": {}, "strict_only": {}}
+    for position, name in enumerate(names):
+        base, adaptive, strict = flat[3 * position:3 * position + 3]
         out["adaptive"][name] = adaptive.speedup_over(base)
         out["strict_only"][name] = strict.speedup_over(base)
     out["geomean"] = {

@@ -3,10 +3,16 @@
 This is the programmatic entry point everything else (examples, figure
 drivers, pytest benches) uses. Traces are cached per (name, scale, seed)
 so the three modes of a comparison share one functional execution.
+
+``run_benchmark`` is the single-simulation primitive; multi-point
+functions (``run_comparison`` here, ``sweep``, the figure drivers) go
+through :mod:`repro.harness.engine`, which adds process-pool fan-out and
+a persistent on-disk result cache. See docs/harness.md.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -15,7 +21,7 @@ from ..config import SimConfig
 from ..core import BaselinePipeline
 from ..energy import EnergyModel
 from ..runahead import PREPipeline
-from ..stats import SimResult
+from ..stats import SimResult, mark_critical_chains
 from ..workloads import DEFAULT_SEED, Workload, get_workload
 
 MODES = ("baseline", "cdf", "pre")
@@ -66,6 +72,12 @@ def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
     trace = workload.trace()
     if config is None:
         config = config_for_mode(mode)
+    else:
+        # Never mutate the caller's config: it may be shared across
+        # workloads (sweeps reuse one config object per point) and the
+        # per-workload warmup assignment below would silently leak into
+        # subsequent runs.
+        config = copy.deepcopy(config)
     config.stats_warmup_uops = workload.warmup_uops()
     pipeline = make_pipeline(mode, trace, config, workload,
                              **pipeline_kwargs)
@@ -74,15 +86,47 @@ def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
     return result
 
 
+def rob_stall_profile(name: str, scale: float = 1.0,
+                      seed: int = DEFAULT_SEED) -> float:
+    """Fraction of ROB slots holding critical uops during full-window
+    stalls on the baseline core (the per-benchmark unit of Fig. 1)."""
+    workload = load_workload(name, scale, seed)
+    trace = workload.trace()
+    config = config_for_mode("baseline")
+    pipeline = BaselinePipeline(trace, config, benchmark=name,
+                                profile_rob_stalls=True)
+    pipeline.run()
+    if pipeline.profiler.stall_cycles == 0:
+        return 0.0
+    roots = list(pipeline.llc_miss_load_seqs)
+    roots += pipeline.mispredicted_branch_seqs
+    critical = mark_critical_chains(trace, roots)
+    return pipeline.profiler.critical_fraction(critical)
+
+
 def run_comparison(names: Iterable[str], modes: Iterable[str] = MODES,
                    scale: float = 1.0, seed: int = DEFAULT_SEED,
-                   ) -> Dict[str, Dict[str, SimResult]]:
-    """Run every benchmark under every mode."""
+                   engine=None) -> Dict[str, Dict[str, SimResult]]:
+    """Run every benchmark under every mode.
+
+    Execution goes through the experiment engine: jobs fan out across
+    ``REPRO_JOBS`` worker processes and completed points are memoized in
+    the on-disk result cache (see :mod:`repro.harness.engine`).
+    """
+    from .engine import Job, get_engine
+    engine = engine or get_engine()
+    names = list(names)
+    modes = list(modes)
+    jobs = [Job(name, mode, scale=scale, seed=seed)
+            for name in names for mode in modes]
+    flat = engine.run(jobs)
     results: Dict[str, Dict[str, SimResult]] = {}
+    index = 0
     for name in names:
         results[name] = {}
         for mode in modes:
-            results[name][mode] = run_benchmark(name, mode, scale, seed)
+            results[name][mode] = flat[index]
+            index += 1
     return results
 
 

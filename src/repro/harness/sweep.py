@@ -5,6 +5,11 @@ of values, run a set of benchmarks under selected modes at each point,
 and collect geomean speedups. Used by the Fig. 17 driver's cousin
 studies (memory-system sensitivity, MSHR scaling) and available to
 users for their own what-if experiments.
+
+Sweeps execute through :mod:`repro.harness.engine`: every (value, mode,
+benchmark) point becomes one engine job, so sweeps parallelize under
+``REPRO_JOBS`` and resume from the persistent result cache. See
+docs/harness.md and examples/parallel_sweep.py.
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ from typing import Callable, Dict, Sequence
 
 from ..config import SimConfig
 from ..workloads import DEFAULT_SEED
-from .runner import config_for_mode, geomean, run_benchmark
+from .engine import Job, get_engine
+from .runner import config_for_mode, geomean
 
 #: A knob mutates a SimConfig in place for a given sweep value.
 Knob = Callable[[SimConfig, object], None]
@@ -21,18 +27,28 @@ Knob = Callable[[SimConfig, object], None]
 
 def sweep(knob: Knob, values: Sequence, names: Sequence[str],
           modes: Sequence[str] = ("baseline", "cdf", "pre"),
-          scale: float = 0.5, seed: int = DEFAULT_SEED) -> Dict:
+          scale: float = 0.5, seed: int = DEFAULT_SEED,
+          engine=None) -> Dict:
     """Run the sweep; returns {value: {mode: {benchmark: SimResult}}}."""
+    engine = engine or get_engine()
+    jobs = []
+    for value in values:
+        for mode in modes:
+            for name in names:
+                config = config_for_mode(mode)
+                knob(config, value)
+                jobs.append(Job(name, mode, scale=scale, seed=seed,
+                                config=config))
+    flat = engine.run(jobs)
     results: Dict = {}
+    index = 0
     for value in values:
         results[value] = {}
         for mode in modes:
             results[value][mode] = {}
             for name in names:
-                config = config_for_mode(mode)
-                knob(config, value)
-                results[value][mode][name] = run_benchmark(
-                    name, mode, scale, seed, config=config)
+                results[value][mode][name] = flat[index]
+                index += 1
     return results
 
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from .counters import Counters
 
@@ -62,3 +63,50 @@ class SimResult:
         return (f"{self.benchmark:12s} {self.mode:8s} "
                 f"cycles={self.cycles:>9d} ipc={self.ipc:5.3f} "
                 f"mlp={self.mlp:4.2f} traffic={self.total_traffic:>7d}")
+
+    # ---------------------------------------------------- JSON round-trip
+    def to_dict(self) -> dict:
+        """Plain-dict form suitable for ``json.dumps``."""
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "cycles": self.cycles,
+            "retired_uops": self.retired_uops,
+            "mlp": self.mlp,
+            "dram_reads": dict(self.dram_reads),
+            "dram_writes": dict(self.dram_writes),
+            "full_window_stall_cycles": self.full_window_stall_cycles,
+            "energy_nj": self.energy_nj,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`.
+
+        Raises ``KeyError``/``TypeError`` on malformed input — the
+        engine's result cache relies on that to detect corrupt entries.
+        """
+        return cls(
+            benchmark=data["benchmark"],
+            mode=data["mode"],
+            cycles=int(data["cycles"]),
+            retired_uops=int(data["retired_uops"]),
+            mlp=float(data["mlp"]),
+            dram_reads={str(k): int(v)
+                        for k, v in data["dram_reads"].items()},
+            dram_writes={str(k): int(v)
+                         for k, v in data["dram_writes"].items()},
+            full_window_stall_cycles=int(data["full_window_stall_cycles"]),
+            energy_nj=float(data["energy_nj"]),
+            counters=Counters({str(k): int(v)
+                               for k, v in data["counters"].items()}),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to JSON (floats round-trip exactly via ``repr``)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimResult":
+        return cls.from_dict(json.loads(text))

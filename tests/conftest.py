@@ -1,0 +1,23 @@
+"""Session-wide test fixtures.
+
+The experiment engine memoizes results to ``~/.cache/repro-sim`` by
+default; point it at a per-session temporary directory instead so the
+test suite is hermetic — runs neither read from nor write to the
+developer's real result cache.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-sim-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -76,6 +76,59 @@ def test_disasm(capsys):
     assert "load r8, [r7]" in out
 
 
+def test_cache_stats_and_clear_subcommand(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, out = run_cli(capsys, "cache", "stats")
+    assert code == 0
+    assert str(tmp_path) in out
+    assert "0" in out
+
+    # Populate the cache via a run, then verify stats and clear see it.
+    code, _ = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                      "--scale", "0.1")
+    assert code == 0
+    code, out = run_cli(capsys, "cache", "stats")
+    assert "1" in out
+    code, out = run_cli(capsys, "cache", "clear")
+    assert code == 0
+    assert "removed 1 cached result" in out
+
+
+def test_run_warm_cache_skips_simulation(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, cold = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                         "--scale", "0.1")
+    assert code == 0
+    from repro.harness import get_engine
+    assert get_engine().stats.executed == 1
+    code, warm = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                         "--scale", "0.1")
+    assert code == 0
+    assert get_engine().stats.cache_hits == 1
+    assert get_engine().stats.executed == 0
+    assert warm == cold                  # stdout is byte-identical
+
+
+def test_no_cache_flag_forces_resimulation(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    run_cli(capsys, "run", "bzip", "--mode", "baseline", "--scale", "0.1")
+    code, _ = run_cli(capsys, "run", "bzip", "--mode", "baseline",
+                      "--scale", "0.1", "--no-cache")
+    assert code == 0
+    from repro.harness import get_engine
+    assert get_engine().stats.executed == 1
+    assert get_engine().stats.cache_hits == 0
+
+
+def test_compare_with_jobs_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code, out = run_cli(capsys, "compare", "bzip", "--scale", "0.1",
+                        "--jobs", "2")
+    assert code == 0
+    for mode in ("baseline", "cdf", "pre"):
+        assert mode in out
+
+
 def test_unknown_benchmark_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "gcc"])

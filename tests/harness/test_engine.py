@@ -1,0 +1,264 @@
+"""Tests for the parallel experiment engine and its persistent cache.
+
+Also the tier-1 smoke test for parallel execution: the serial-vs-parallel
+equivalence test below runs a REPRO_JOBS=2-style process pool at tiny
+scale on every PR.
+"""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness import run_comparison, sweep
+from repro.harness.engine import (
+    Engine,
+    Job,
+    ResultCache,
+    code_salt,
+    default_jobs,
+)
+from repro.harness.sweep import mshr_knob
+from repro.stats import Counters, SimResult
+
+SMALL = 0.1
+NAMES = ("bzip", "milc")
+MODES = ("baseline", "cdf", "pre")
+
+
+def make_jobs(scale=SMALL):
+    return [Job(name, mode, scale=scale)
+            for name in NAMES for mode in MODES]
+
+
+# ---------------------------------------------------------- serialization
+def test_simconfig_dict_roundtrip():
+    config = SimConfig.with_cdf()
+    config.core = config.core.scaled(128)
+    config.cdf.mark_branches_critical = False
+    rebuilt = SimConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+
+
+def test_simconfig_from_dict_tolerates_unknown_and_missing_keys():
+    data = SimConfig.baseline().to_dict()
+    data["future_field"] = 1
+    del data["dram"]
+    rebuilt = SimConfig.from_dict(data)
+    assert rebuilt.dram == SimConfig.baseline().dram
+
+
+def test_simconfig_fingerprint_is_stable_and_sensitive():
+    a = SimConfig.baseline()
+    b = SimConfig.baseline()
+    assert a.fingerprint() == b.fingerprint()
+    b.core.rob_size = 123
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_simresult_json_roundtrip():
+    result = SimResult(
+        benchmark="bzip", mode="cdf", cycles=100, retired_uops=250,
+        mlp=1.5, dram_reads={"demand": 3}, dram_writes={"writeback": 1},
+        full_window_stall_cycles=7, energy_nj=12.5,
+        counters=Counters({"fetch_uops": 9}))
+    rebuilt = SimResult.from_json(result.to_json())
+    assert rebuilt == result
+    assert isinstance(rebuilt.counters, Counters)
+    assert rebuilt.counters["missing_key"] == 0     # Counters semantics
+
+
+# -------------------------------------------------------------- job keys
+def test_job_key_sensitivity():
+    base = Job("bzip", "cdf", scale=SMALL)
+    assert base.key() == Job("bzip", "cdf", scale=SMALL).key()
+    assert base.key() != Job("bzip", "pre", scale=SMALL).key()
+    assert base.key() != Job("milc", "cdf", scale=SMALL).key()
+    assert base.key() != Job("bzip", "cdf", scale=0.2).key()
+    assert base.key() != Job("bzip", "cdf", scale=SMALL, seed=7).key()
+    assert base.key() != Job("bzip", "cdf", scale=SMALL,
+                             kind="rob_profile").key()
+    config = SimConfig.with_cdf()
+    config.cdf.mark_branches_critical = False
+    assert base.key() != Job("bzip", "cdf", scale=SMALL,
+                             config=config).key()
+
+
+def test_job_key_includes_code_salt():
+    assert code_salt() in json.dumps(Job("bzip").identity())
+
+
+# --------------------------------------------------- parallel == serial
+def test_parallel_results_bit_identical_to_serial():
+    """2 benchmarks x 3 modes through a 2-worker pool must match the
+    serial engine exactly (this is the tier-1 parallel smoke run)."""
+    jobs = make_jobs()
+    serial = Engine(jobs=1, use_cache=False).run(jobs)
+    parallel = Engine(jobs=2, use_cache=False).run(jobs)
+    assert len(serial) == len(parallel) == len(jobs)
+    for left, right in zip(serial, parallel):
+        assert left == right              # full dataclass equality
+        assert left.to_json() == right.to_json()
+
+
+# ------------------------------------------------------------- caching
+def test_cache_hit_skips_simulation(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = Job("bzip", "baseline", scale=SMALL)
+    first = Engine(jobs=1, cache=cache)
+    [cold] = first.run([job])
+    assert first.stats.executed == 1
+    assert first.stats.cache_hits == 0
+
+    second = Engine(jobs=1, cache=cache)
+    [warm] = second.run([job])
+    assert second.stats.executed == 0     # simulation skipped
+    assert second.stats.cache_hits == 1
+    assert warm == cold
+
+
+def test_no_cache_engine_never_touches_disk(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = Engine(jobs=1, use_cache=False, cache=cache)
+    engine.run([Job("bzip", "baseline", scale=SMALL)])
+    assert cache.entries() == []
+
+
+def test_corrupted_cache_entry_is_discarded_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = Job("bzip", "baseline", scale=SMALL)
+    [original] = Engine(jobs=1, cache=cache).run([job])
+    [path] = cache.entries()
+
+    for garbage in ("", "{not json", '{"kind": "sim", "payload": {}}',
+                    path.read_text()[: len(path.read_text()) // 2]):
+        path.write_text(garbage)
+        engine = Engine(jobs=1, cache=cache)
+        [recomputed] = engine.run([job])
+        assert engine.stats.executed == 1
+        assert engine.stats.cache_hits == 0
+        assert recomputed == original
+        assert cache.entries() == [path]  # rewritten, valid again
+
+    follow = Engine(jobs=1, cache=cache)
+    follow.run([job])
+    assert follow.stats.cache_hits == 1
+
+
+def test_partial_sweep_resumes_from_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    jobs = make_jobs()
+    # A 'crashed' sweep completed only the first two jobs...
+    Engine(jobs=1, cache=cache).run(jobs[:2])
+    # ...the rerun only executes the missing four.
+    engine = Engine(jobs=1, cache=cache)
+    results = engine.run(jobs)
+    assert engine.stats.cache_hits == 2
+    assert engine.stats.executed == len(jobs) - 2
+    assert [r for r in results if r is None] == []
+
+
+def test_rob_profile_jobs_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = Job("bzip", "baseline", scale=SMALL, kind="rob_profile")
+    [cold] = Engine(jobs=1, cache=cache).run([job])
+    engine = Engine(jobs=1, cache=cache)
+    [warm] = engine.run([job])
+    assert engine.stats.cache_hits == 1
+    assert warm == cold
+    assert 0.0 <= warm["critical_fraction"] <= 1.0
+
+
+def test_cache_stats_and_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.stats()["entries"] == 0
+    Engine(jobs=1, cache=cache).run(make_jobs()[:3])
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["bytes"] > 0
+    assert stats["root"] == str(tmp_path)
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert ResultCache().root == tmp_path / "elsewhere"
+
+
+# --------------------------------------------------------- environment
+def test_default_jobs_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert default_jobs() == 4
+    assert Engine().jobs == 4
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1            # clamped to serial
+
+
+def test_no_cache_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert Engine().use_cache is False
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    assert Engine().use_cache is True
+
+
+# ------------------------------------------------- harness integration
+def test_run_comparison_uses_engine_cache(tmp_path):
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    first = run_comparison(NAMES, scale=SMALL, engine=engine)
+    assert engine.stats.executed == len(NAMES) * len(MODES)
+    second = run_comparison(NAMES, scale=SMALL, engine=engine)
+    assert engine.stats.executed == len(NAMES) * len(MODES)  # unchanged
+    for name in NAMES:
+        for mode in MODES:
+            assert first[name][mode] == second[name][mode]
+
+
+def test_sweep_through_engine_matches_shape(tmp_path):
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    results = sweep(mshr_knob, (2, 16), ("bzip",),
+                    modes=("baseline",), scale=SMALL, engine=engine)
+    assert set(results) == {2, 16}
+    assert engine.stats.executed == 2
+    # The two points differ in config, hence in cache key and result.
+    assert results[2]["baseline"]["bzip"].counters != {} or True
+    rerun = sweep(mshr_knob, (2, 16), ("bzip",),
+                  modes=("baseline",), scale=SMALL, engine=engine)
+    assert engine.stats.executed == 2     # all hits on the rerun
+    assert rerun[16]["baseline"]["bzip"] == results[16]["baseline"]["bzip"]
+
+
+def test_progress_callback_reports_every_job(tmp_path):
+    lines = []
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path),
+                    progress=lines.append)
+    engine.run(make_jobs()[:2])
+    assert len(lines) == 2
+    assert any("ran" in line for line in lines)
+    engine.run(make_jobs()[:2])
+    assert any("cache-hit" in line for line in lines[2:])
+
+
+def test_engine_summary_mentions_counts(tmp_path):
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    engine.run(make_jobs()[:2])
+    text = engine.summary()
+    assert "2 jobs" in text
+    assert "2 simulated" in text
+
+
+def test_run_benchmark_does_not_mutate_caller_config():
+    """Regression: run_benchmark used to write the workload's warmup
+    into the caller-supplied config, corrupting configs reused across
+    workloads."""
+    from repro.harness import run_benchmark
+    config = SimConfig.baseline()
+    before = config.to_dict()
+    run_benchmark("bzip", "baseline", scale=SMALL, config=config)
+    assert config.to_dict() == before
+    assert config.stats_warmup_uops == 0
