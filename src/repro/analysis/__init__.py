@@ -1,0 +1,37 @@
+"""simlint: domain-specific static analysis for the simulator.
+
+The experiment engine's content-addressed result cache (PR 1) is only
+sound if every simulation is a pure, deterministic function of
+(workload, scale, seed, SimConfig, code).  This package machine-checks
+the bug classes that silently break that contract — unseeded RNG,
+hash-order-dependent iteration, caller-config mutation, wall-clock
+leakage, typo'd counter keys, float drift in cycle counts, layering
+violations, and mutable default arguments.
+
+Entry points::
+
+    repro-sim lint [paths...]          # CLI subcommand
+    python -m repro.analysis [paths...]
+
+See ``docs/analysis.md`` for the rule catalogue, suppression syntax
+(``# simlint: disable=RULEID``) and the baseline workflow.
+"""
+
+from .core import Finding, LintContext, Rule, parse_suppressions
+from .baseline import Baseline
+from .rules import ALL_RULES, rule_by_id
+from .runner import LintReport, lint_paths, lint_source, main
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "rule_by_id",
+]

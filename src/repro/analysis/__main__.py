@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run simlint from the command line."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

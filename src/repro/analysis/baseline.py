@@ -1,0 +1,94 @@
+"""Baseline files: grandfather existing findings without hiding new ones.
+
+A baseline is a JSON snapshot of currently-accepted findings.  Each
+entry is keyed line-number-insensitively (rule, path, stripped source
+line) with a count, so:
+
+* unrelated edits that shift line numbers do not resurrect findings;
+* a *new* instance of a grandfathered rule in the same file still fires
+  (counts are consumed one finding at a time);
+* deleting the offending code automatically shrinks the baseline debt
+  (stale entries are reported so they can be pruned).
+
+Workflow::
+
+    repro-sim lint --baseline simlint-baseline.json --write-baseline
+    repro-sim lint --baseline simlint-baseline.json      # CI: must exit 0
+
+The repo itself ships lint-clean (the tier-1 test runs with an **empty**
+baseline); the mechanism exists for downstream forks and for staging
+future rules.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .core import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding keys."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    # ------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported simlint baseline version "
+                f"{data.get('version')!r} in {path}")
+        counts: Dict[str, int] = {}
+        for entry in data.get("findings", []):
+            key = (f"{entry['rule']}::{entry['path']}::"
+                   f"{entry.get('snippet', '')}")
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts = Counter(f.baseline_key() for f in findings)
+        return cls(dict(counts))
+
+    def dump(self, path: Path) -> None:
+        entries = []
+        for key in sorted(self.counts):
+            rule, fpath, snippet = key.split("::", 2)
+            entries.append({"rule": rule, "path": fpath,
+                            "snippet": snippet,
+                            "count": self.counts[key]})
+        payload = {"version": _VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+
+    # ------------------------------------------------------------ filter
+    def filter(self, findings: List[Finding]
+               ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (new, grandfathered_count, stale_keys).
+
+        Consumes baseline counts finding-by-finding; leftover baseline
+        entries are *stale* (the code they covered is gone) and should
+        be pruned with ``--write-baseline``.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        grandfathered = 0
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered += 1
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return new, grandfathered, stale

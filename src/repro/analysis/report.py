@@ -1,0 +1,48 @@
+"""simlint reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:                                  # pragma: no cover
+    from .runner import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: "LintReport", verbose: bool = False) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+        if verbose and finding.snippet:
+            lines.append(f"    | {finding.snippet}")
+    if report.stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (code is gone; prune with "
+                     "--write-baseline):")
+        for key in report.stale_baseline:
+            lines.append(f"  - {key}")
+    lines.append("")
+    verdict = "FAIL" if report.findings else "OK"
+    lines.append(
+        f"simlint: {verdict} — {len(report.findings)} finding(s), "
+        f"{report.suppressed} suppressed, {report.grandfathered} "
+        f"baselined, {report.files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    payload = {
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "grandfathered": report.grandfathered,
+            "stale_baseline": list(report.stale_baseline),
+            "files_checked": report.files_checked,
+            "rules": sorted({f.rule for f in report.findings}),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,212 @@
+"""simlint driver: walk files, apply rules, filter, report.
+
+``lint_paths`` is the programmatic entry point (the tier-1 repo-clean
+test calls it directly); ``main`` backs both ``python -m repro.analysis``
+and the ``repro-sim lint`` subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .core import Finding, LintContext, Rule, module_name_for, \
+    parse_suppressions
+from .report import render_json, render_text
+from .rules import ALL_RULES, rule_by_id
+
+__all__ = ["LintReport", "lint_paths", "lint_source", "main"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    grandfathered: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(files))
+
+
+def _relpath(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def build_context(path: Path, source: str,
+                  root: Optional[Path] = None,
+                  module: Optional[str] = None) -> LintContext:
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    return LintContext(
+        path=path,
+        relpath=_relpath(path, root),
+        module=module if module is not None else module_name_for(path),
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def lint_source(source: str, rules: Optional[Sequence[Rule]] = None,
+                module: str = "snippet",
+                path: str = "<snippet>") -> Tuple[List[Finding], int]:
+    """Lint an in-memory snippet (the rule-fixture tests use this).
+
+    Returns (findings, suppressed_count).
+    """
+    ctx = build_context(Path(path), source, module=module)
+    active: List[Finding] = []
+    suppressed = 0
+    for rule in (rules if rules is not None else ALL_RULES):
+        found, hidden = rule.run(ctx)
+        active.extend(found)
+        suppressed += hidden
+    active.sort(key=Finding.sort_key)
+    return active, suppressed
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Baseline] = None,
+               root: Optional[Path] = None) -> LintReport:
+    """Lint files/directories; returns a :class:`LintReport`."""
+    chosen = list(rules) if rules is not None else list(ALL_RULES)
+    files = iter_python_files(paths)
+    if root is None and len(paths) == 1 and paths[0].is_dir():
+        root = paths[0].parent
+    report = LintReport()
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = build_context(file_path, source, root=root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_checked += 1
+        for rule in chosen:
+            found, hidden = rule.run(ctx)
+            report.findings.extend(found)
+            report.suppressed += hidden
+    report.findings.sort(key=Finding.sort_key)
+    if baseline is not None:
+        new, grandfathered, stale = baseline.filter(report.findings)
+        report.findings = new
+        report.grandfathered = grandfathered
+        report.stale_baseline = stale
+    return report
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package: what ``repro-sim lint`` checks
+    when invoked with no paths."""
+    import repro
+    return Path(repro.__file__).parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim lint",
+        description="simlint: determinism/config/counter static analysis "
+                    "for the simulator (see docs/analysis.md)")
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="report format (default: text)")
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to --baseline and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include source snippets in the text report")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules: Optional[List[Rule]] = None
+    if args.select:
+        rules = [rule_by_id(rule_id.strip())
+                 for rule_id in args.select.split(",") if rule_id.strip()]
+    paths = args.paths or [default_lint_root()]
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("--write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        report = lint_paths(paths, rules=rules)
+        Baseline.from_findings(report.findings).dump(args.baseline)
+        print(f"wrote {len(report.findings)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    baseline = None
+    if args.baseline is not None and args.baseline.exists():
+        baseline = Baseline.load(args.baseline)
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+    if args.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    for error in report.parse_errors:
+        print(f"simlint: parse error: {error}", file=sys.stderr)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":                          # pragma: no cover
+    sys.exit(main())

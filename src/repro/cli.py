@@ -9,6 +9,7 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim report --scale 0.6 --output report.md
     repro-sim cache stats
     repro-sim disasm bzip
+    repro-sim lint [paths...] [--format json] [--baseline FILE]
 
 Simulation commands accept ``--jobs N`` (or ``REPRO_JOBS``) to fan out
 across worker processes and ``--no-cache`` to bypass the persistent
@@ -138,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent result cache")
     cache.add_argument("action", choices=("stats", "clear"))
 
+    # The lint subcommand owns its argument parsing (see
+    # repro.analysis.runner); main() dispatches to it before the parse
+    # below, so this stub only exists for `repro-sim --help` and for the
+    # unknown-command error message.
+    lint = sub.add_parser(
+        "lint", add_help=False,
+        help="run simlint (determinism/config/counter static analysis)")
+    lint.add_argument("rest", nargs=argparse.REMAINDER)
+
     return parser
 
 
@@ -256,7 +266,12 @@ _SIMULATING = ("run", "compare", "figure", "report")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # simlint has its own option surface; hand it the rest verbatim.
+        from .analysis import main as lint_main
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command in _SIMULATING:
         # Rebuild the default engine from the environment plus any
         # --jobs/--no-cache overrides; stats start at zero so the

@@ -28,7 +28,7 @@ import typing
 from dataclasses import dataclass, field
 
 
-def _dataclass_from_dict(cls, data: dict):
+def _dataclass_from_dict(cls: type, data: dict) -> typing.Any:
     """Rebuild a (possibly nested) config dataclass from a plain dict.
 
     Unknown keys are ignored and missing keys fall back to the field
@@ -287,7 +287,7 @@ class SimConfig:
     seed: int = 1
 
     @staticmethod
-    def baseline(**overrides) -> "SimConfig":
+    def baseline(**overrides: typing.Any) -> "SimConfig":
         """Baseline OoO core with prefetching (the paper's baseline)."""
         cfg = SimConfig(**overrides)
         cfg.cdf = CDFConfig(enabled=False)
@@ -295,7 +295,7 @@ class SimConfig:
         return cfg
 
     @staticmethod
-    def with_cdf(**overrides) -> "SimConfig":
+    def with_cdf(**overrides: typing.Any) -> "SimConfig":
         """Baseline plus Criticality Driven Fetch."""
         cfg = SimConfig(**overrides)
         cfg.cdf = CDFConfig(enabled=True)
@@ -303,7 +303,7 @@ class SimConfig:
         return cfg
 
     @staticmethod
-    def with_pre(**overrides) -> "SimConfig":
+    def with_pre(**overrides: typing.Any) -> "SimConfig":
         """Baseline plus Precise Runahead."""
         cfg = SimConfig(**overrides)
         cfg.cdf = CDFConfig(enabled=False)

@@ -391,7 +391,10 @@ class Engine:
         benchmark sharing the serial path gets from the runner's
         in-process cache."""
         from .runner import load_workload
-        for key in {(job.benchmark, job.scale, job.seed) for job in jobs}:
+        # dict.fromkeys, not a set: dedup in first-seen order so the
+        # prewarm sequence is independent of PYTHONHASHSEED (DET002).
+        for key in dict.fromkeys(
+                (job.benchmark, job.scale, job.seed) for job in jobs):
             load_workload(*key).trace()
 
     def _finish_miss(self, job: Job, result, seconds: float) -> None:

@@ -81,9 +81,13 @@ def memory_speed_knob(config: SimConfig, factor: float) -> None:
 
 def mshr_knob(config: SimConfig, count: int) -> None:
     """Set the L1D/LLC MSHR counts (the hard MLP ceiling)."""
-    config.l1d.mshrs = count
-    config.llc.mshrs = 2 * count
+    # Knobs mutate by contract (see the Knob type alias): sweep() builds
+    # a fresh config_for_mode() per point before applying the knob, so
+    # no caller-shared config is ever touched.
+    config.l1d.mshrs = count                # simlint: disable=CFG001 knob contract
+    config.llc.mshrs = 2 * count            # simlint: disable=CFG001 knob contract
 
 
 def llc_size_knob(config: SimConfig, size_bytes: int) -> None:
-    config.llc.size_bytes = size_bytes
+    """Set the LLC capacity (sets scale with it; ways fixed)."""
+    config.llc.size_bytes = size_bytes      # simlint: disable=CFG001 knob contract

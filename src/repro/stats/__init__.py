@@ -2,13 +2,25 @@
 
 from .counters import Counters
 from .mlp import MLPTracker
+from .registry import (
+    COUNTERS,
+    DYNAMIC_COUNTERS,
+    UnknownCounterError,
+    is_known,
+    validate_key,
+)
 from .report import SimResult
 from .robstall import RobStallProfiler, mark_critical_chains
 
 __all__ = [
+    "COUNTERS",
     "Counters",
+    "DYNAMIC_COUNTERS",
     "MLPTracker",
-    "SimResult",
     "RobStallProfiler",
+    "SimResult",
+    "UnknownCounterError",
+    "is_known",
     "mark_critical_chains",
+    "validate_key",
 ]

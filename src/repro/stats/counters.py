@@ -2,20 +2,29 @@
 
 The pipelines bump counters by name; the harness diffs snapshots to
 exclude warmup. A plain dict subclass keeps the hot path cheap.
+
+Every key fed to :meth:`Counters.bump` must be declared in
+:mod:`repro.stats.registry`; undeclared keys fail loudly (or warn once
+under ``REPRO_STRICT=0``) instead of silently fabricating a new counter.
+The hot path pays one set-membership test per bump.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from .registry import KNOWN_KEYS, validate_key
 
-class Counters(dict):
+
+class Counters(Dict[str, int]):
     """String-keyed integer counters; missing keys read as zero."""
 
     def __missing__(self, key: str) -> int:
         return 0
 
     def bump(self, key: str, amount: int = 1) -> None:
+        if key not in KNOWN_KEYS:
+            validate_key(key)
         self[key] = self.get(key, 0) + amount
 
     def snapshot(self) -> Dict[str, int]:

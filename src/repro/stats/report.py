@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -110,3 +111,15 @@ class SimResult:
     @classmethod
     def from_json(cls, text: str) -> "SimResult":
         return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form.
+
+        Two runs of the same (workload, scale, seed, config, code) must
+        produce identical fingerprints regardless of ``PYTHONHASHSEED``,
+        worker-process layout, or wall-clock — the determinism contract
+        the result cache and simlint's DET rules enforce.  The
+        cross-hashseed integration test asserts exactly this.
+        """
+        digest = hashlib.sha256(self.to_json().encode("utf-8"))
+        return digest.hexdigest()

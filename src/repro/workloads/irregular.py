@@ -37,7 +37,11 @@ def build_astar(scale: float = 1.0, seed: int = DEFAULT_SEED) -> Workload:
     # Map-cell values: the bound-check branch takes the rare arm ~22% of
     # the time — data dependent, mispredicting often, and resolving only
     # when the missing cell returns. Exactly the Fig. 2 structure.
-    for t in set(targets[:iters + 16]):
+    # Dedup in first-seen order (dict.fromkeys), NOT via set(): each t
+    # consumes rng draws, so iteration order decides which cell gets
+    # which value — set order is hash order and would tie the generated
+    # trace to PYTHONHASHSEED (simlint DET002).
+    for t in dict.fromkeys(targets[:iters + 16]):
         memory[BIG_REGION + t * 8] = (rng.randrange(1 << 30) << 1) | (
             1 if rng.random() < 0.22 else 0)
 

@@ -1,5 +1,7 @@
 """Unit tests for counters, MLP tracking, ROB-stall profiling, SimResult."""
 
+import warnings
+
 import pytest
 
 from repro.stats import (
@@ -7,6 +9,8 @@ from repro.stats import (
     MLPTracker,
     RobStallProfiler,
     SimResult,
+    UnknownCounterError,
+    is_known,
     mark_critical_chains,
 )
 
@@ -18,16 +22,45 @@ def test_counters_missing_reads_zero():
 
 
 def test_counters_bump_and_delta():
+    # Keys must come from the registry: bump() rejects undeclared names.
     c = Counters()
-    c.bump("a")
-    c.bump("a", 4)
+    c.bump("fetch_uops")
+    c.bump("fetch_uops", 4)
     snap = c.snapshot()
-    c.bump("a", 2)
-    c.bump("b")
+    c.bump("fetch_uops", 2)
+    c.bump("rob_reads")
     delta = c.delta(snap)
-    assert delta["a"] == 2
-    assert delta["b"] == 1
+    assert delta["fetch_uops"] == 2
+    assert delta["rob_reads"] == 1
     assert "nope" not in delta
+
+
+# ------------------------------------------------------------ key registry
+def test_bump_rejects_undeclared_key_in_strict_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_STRICT", raising=False)
+    with pytest.raises(UnknownCounterError, match="totally_bogus_counter"):
+        Counters().bump("totally_bogus_counter")
+
+
+def test_bump_warns_once_when_strictness_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT", "0")
+    c = Counters()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        c.bump("lenient_only_counter")
+        c.bump("lenient_only_counter")
+    assert len(caught) == 1
+    assert c["lenient_only_counter"] == 2
+
+
+def test_dynamic_counter_families():
+    assert is_known("dispatch_stall_rob_cycles")
+    assert is_known("crit_dispatch_stall_rat_copy_cycles")
+    assert not is_known("dispatch_stall_bogus_cycles")
+    # dynamic keys bump fine once matched
+    c = Counters()
+    c.bump("dispatch_stall_lq_cycles", 3)
+    assert c["dispatch_stall_lq_cycles"] == 3
 
 
 def test_counters_merge():
