@@ -517,35 +517,40 @@ class ImportLayeringRule(Rule):
     FORBIDDEN: Dict[str, FrozenSet[str]] = {
         "config": frozenset({
             "isa", "stats", "memory", "frontend", "energy", "workloads",
-            "core", "cdf", "runahead", "harness", "cli", "analysis"}),
+            "core", "cdf", "runahead", "verify", "harness", "cli",
+            "analysis"}),
         "isa": frozenset({
             "config", "stats", "memory", "frontend", "energy",
-            "workloads", "core", "cdf", "runahead", "harness", "cli",
-            "analysis"}),
+            "workloads", "core", "cdf", "runahead", "verify", "harness",
+            "cli", "analysis"}),
         "stats": frozenset({
             "memory", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "harness", "cli", "analysis"}),
+            "runahead", "verify", "harness", "cli", "analysis"}),
         "memory": frozenset({
             "stats", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "harness", "cli", "analysis"}),
+            "runahead", "verify", "harness", "cli", "analysis"}),
         "frontend": frozenset({
             "memory", "energy", "workloads", "core", "cdf", "runahead",
-            "harness", "cli", "analysis"}),
+            "verify", "harness", "cli", "analysis"}),
         "energy": frozenset({
             "memory", "frontend", "workloads", "core", "cdf", "runahead",
-            "harness", "cli", "analysis"}),
+            "verify", "harness", "cli", "analysis"}),
         "workloads": frozenset({
             "memory", "frontend", "energy", "core", "cdf", "runahead",
-            "harness", "cli", "analysis"}),
+            "verify", "harness", "cli", "analysis"}),
         "core": frozenset({
-            "workloads", "cdf", "runahead", "harness", "cli", "analysis"}),
+            "workloads", "cdf", "runahead", "verify", "harness", "cli",
+            "analysis"}),
         "cdf": frozenset({
-            "workloads", "runahead", "harness", "cli", "analysis"}),
+            "workloads", "runahead", "verify", "harness", "cli",
+            "analysis"}),
         "runahead": frozenset({
+            "workloads", "verify", "harness", "cli", "analysis"}),
+        "verify": frozenset({
             "workloads", "harness", "cli", "analysis"}),
         "analysis": frozenset({
             "memory", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "harness", "cli"}),
+            "runahead", "verify", "harness", "cli"}),
     }
 
     def _source_package(self, module: str) -> Optional[str]:

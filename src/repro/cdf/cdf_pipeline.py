@@ -171,6 +171,8 @@ class CDFPipeline(BaselinePipeline):
             if self.event_log is not None:
                 self.event_log.append((cycle, "R", entry.seq))
             self._on_retire(entry, cycle)
+            if self.verifier is not None:
+                self.verifier.on_retire(entry, cycle)
 
     # ---------------------------------------------------------- CCT training
     def _on_retire(self, entry: RobEntry, cycle: int) -> None:
@@ -509,6 +511,14 @@ class CDFPipeline(BaselinePipeline):
             partitions.decay_all()
 
     def _allocation_block_reason(self, uop: DynUop) -> Optional[str]:
+        # Physical limits first: a rebalance (or CDF-mode entry) can move
+        # the partition boundary past the *other* section's current
+        # occupancy — the section then drains down to its new bound, but
+        # until it does, this section's nominal headroom is not backed by
+        # free physical entries.  Allocation needs both.
+        reason = self._physical_block_reason(uop)
+        if reason is not None:
+            return reason
         partitions = self.partitions
         if len(self.rob) >= partitions.rob.noncritical_size:
             return "rob"
@@ -526,6 +536,22 @@ class CDFPipeline(BaselinePipeline):
             return "prf"
         return None
 
+    def _physical_block_reason(self, uop: DynUop) -> Optional[str]:
+        """Both ROB sections together must fit the physical structures."""
+        if len(self.rob) + len(self.rob_crit) >= self.rob_size:
+            return "rob"
+        if self.rs_used + self.rs_crit_used >= self.rs_size:
+            return "rs"
+        if uop.is_load and self.lq_used + self.lq_crit_used >= self.lq_size:
+            return "lq"
+        if uop.is_store \
+                and self.sq_used + self.sq_crit_used >= self.sq_size:
+            return "sq"
+        if uop.writes_reg and self.writers_inflight + self.writers_crit \
+                >= self.prf_writers_limit:
+            return "prf"
+        return None
+
     def _noncrit_prf_limit(self) -> int:
         share = self.partitions.rob.critical_size \
             if (self.cdf_mode or self.rob_crit) else 0
@@ -534,6 +560,9 @@ class CDFPipeline(BaselinePipeline):
         return max(8, self.prf_writers_limit - crit_share)
 
     def _critical_block_reason(self, uop: DynUop) -> Optional[str]:
+        reason = self._physical_block_reason(uop)
+        if reason is not None:
+            return reason
         partitions = self.partitions
         if self.replay_frontier < self.mode_entry_seq:
             # The critical RAT is copied 'after the last regular mode
@@ -613,6 +642,8 @@ class CDFPipeline(BaselinePipeline):
             self.event_log.append((cycle, "d", uop.seq))
         self.counters.bump("crit_rename_uops")
         self.counters.bump("rob_writes")
+        if self.verifier is not None:
+            self.verifier.on_dispatch(entry, cycle, critical=True)
         return entry
 
     # -------------------------------------------------------------- flush

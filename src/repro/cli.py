@@ -10,6 +10,8 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim cache stats
     repro-sim disasm bzip
     repro-sim lint [paths...] [--format json] [--baseline FILE]
+    repro-sim verify --fuzz 50 --seed 0
+    repro-sim verify --bench astar --scale 0.2
 
 Simulation commands accept ``--jobs N`` (or ``REPRO_JOBS``) to fan out
 across worker processes and ``--no-cache`` to bypass the persistent
@@ -139,6 +141,35 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent result cache")
     cache.add_argument("action", choices=("stats", "clear"))
 
+    verify = sub.add_parser(
+        "verify",
+        help="run pipelines under the differential oracle and invariant "
+             "checker (fuzz programs by default, --bench for suite "
+             "kernels); see docs/verification.md")
+    verify.add_argument(
+        "--fuzz", type=int, default=20, metavar="N",
+        help="number of fuzz cases; case i uses seed SEED+i (default 20)")
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="base fuzz seed; replay one failure with --fuzz 1 --seed S")
+    verify.add_argument(
+        "--modes", nargs="+", choices=("baseline", "cdf", "pre"),
+        default=None, metavar="MODE",
+        help="pipelines to verify (default: all three)")
+    verify.add_argument(
+        "--level", type=int, choices=(1, 2, 3), default=2,
+        help="verify_level: 1 events+oracle, 2 +cycle sweeps/periodic "
+             "scans (default), 3 scans every cycle")
+    verify.add_argument(
+        "--bench", choices=suite_names(), default=None,
+        help="verify a suite kernel instead of fuzz programs")
+    verify.add_argument("--scale", type=float, default=0.2,
+                        help="workload scale with --bench (default 0.2)")
+    verify.add_argument("--fail-fast", action="store_true",
+                        help="stop the campaign at the first failure")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress on stderr")
+
     # The lint subcommand owns its argument parsing (see
     # repro.analysis.runner); main() dispatches to it before the parse
     # below, so this stub only exists for `repro-sim --help` and for the
@@ -261,6 +292,48 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify import MODES, VerificationError, run_fuzz_campaign
+
+    modes = tuple(args.modes) if args.modes else MODES
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            print(f"... {line}", file=sys.stderr)
+
+    if args.bench:
+        # Suite kernel under full verification: run_benchmark attaches
+        # the oracle + checker via config.verify_level (bypassing the
+        # engine/result cache — a verification run must actually run).
+        from .harness import run_benchmark
+        for mode in modes:
+            config = config_for_mode(mode)
+            config.verify_level = args.level
+            progress(f"{args.bench} [{mode}] scale={args.scale} "
+                     f"level={args.level}")
+            try:
+                result = run_benchmark(args.bench, mode,
+                                       scale=args.scale, config=config)
+            except VerificationError as err:
+                print(err)
+                return 1
+            print(f"{args.bench} [{mode}]: ok — "
+                  f"{result.counters['verify_retired_uops']} retired "
+                  f"uops cross-checked, IPC {result.ipc:.3f}")
+        return 0
+
+    try:
+        report = run_fuzz_campaign(args.fuzz, seed=args.seed, modes=modes,
+                                   verify_level=args.level,
+                                   fail_fast=args.fail_fast,
+                                   progress=progress)
+    except VerificationError as err:   # --fail-fast re-raises
+        print(err)
+        return 1
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 #: Subcommands that simulate (and therefore configure/report the engine).
 _SIMULATING = ("run", "compare", "figure", "report")
 
@@ -286,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": cmd_disasm,
         "report": cmd_report,
         "cache": cmd_cache,
+        "verify": cmd_verify,
     }
     code = handlers[args.command](args)
     if args.command in _SIMULATING:

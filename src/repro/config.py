@@ -285,6 +285,12 @@ class SimConfig:
     stats_warmup_uops: int = 0
     max_cycles: int = 50_000_000
     seed: int = 1
+    # Runtime verification (see docs/verification.md): 0 = off (the
+    # default; bit-identical results and no measurable overhead), 1 =
+    # event invariants + differential oracle, 2 = level 1 plus per-cycle
+    # occupancy sweeps and periodic structural scans, 3 = level 2 with
+    # the structural scan every cycle.
+    verify_level: int = 0
 
     @staticmethod
     def baseline(**overrides: typing.Any) -> "SimConfig":

@@ -73,6 +73,10 @@ class BaselinePipeline:
         #: F fetch, D dispatch, I issue, C complete, R retire (CDF adds
         #: f/d critical fetch/dispatch and p rename replay).
         self.event_log: Optional[list] = None
+        #: Optional :class:`repro.verify.PipelineVerifier`. Attach through
+        #: :meth:`attach_verifier`; when None (verify_level 0) every hook
+        #: site costs one attribute comparison and nothing else.
+        self.verifier = None
 
         # Frontend state.
         self.fetch_seq = 0
@@ -125,11 +129,18 @@ class BaselinePipeline:
     def _note_branch_outcome(self, uop: DynUop, outcome) -> None:
         """Subclass hook: a branch was predicted at fetch time."""
 
+    def attach_verifier(self, verifier):
+        """Bind *verifier* (a :class:`repro.verify.PipelineVerifier`) to
+        this pipeline and enable the verification hooks; returns it."""
+        self.verifier = verifier.bind(self)
+        return verifier
+
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
         total = len(self.trace)
         warmup = self.config.stats_warmup_uops
         warm_snap = None
+        verifier = self.verifier
         cycle = 0
         while self.retired < total:
             if cycle >= self.config.max_cycles:
@@ -141,10 +152,14 @@ class BaselinePipeline:
             self._issue(cycle)
             self._dispatch(cycle)
             self._fetch(cycle)
+            if verifier is not None:
+                verifier.on_cycle_end(cycle)
             if warm_snap is None and warmup and self.retired >= warmup:
                 warm_snap = self._snapshot(cycle)
             cycle = self._advance(cycle)
         self.cycle = cycle
+        if verifier is not None:
+            verifier.on_run_end()
         return self._build_result(cycle, warm_snap)
 
     # ------------------------------------------------------------------ stages
@@ -206,6 +221,8 @@ class BaselinePipeline:
             if self.event_log is not None:
                 self.event_log.append((cycle, "R", entry.seq))
             self._on_retire(entry, cycle)
+            if self.verifier is not None:
+                self.verifier.on_retire(entry, cycle)
 
     def _issue(self, cycle: int) -> None:
         budget = self.issue_width
@@ -303,6 +320,8 @@ class BaselinePipeline:
         return "demand"
 
     def _complete_at(self, entry: RobEntry, cycle: int, completion: int) -> None:
+        if self.verifier is not None:
+            self.verifier.on_issue(entry, cycle)
         entry.state = ISSUED
         entry.issue_cycle = cycle
         entry.complete_cycle = max(completion, cycle + 1)
@@ -397,6 +416,8 @@ class BaselinePipeline:
         if self.event_log is not None:
             self.event_log.append((cycle, "D", uop.seq))
         self._on_dispatch(entry, cycle)
+        if self.verifier is not None:
+            self.verifier.on_dispatch(entry, cycle, critical=False)
         return entry
 
     # ------------------------------------------------------------------ stalls

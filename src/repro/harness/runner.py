@@ -51,15 +51,26 @@ def config_for_mode(mode: str, **overrides) -> SimConfig:
 def make_pipeline(mode: str, trace, config: SimConfig, workload: Workload,
                   **kwargs):
     if mode == "baseline":
-        return BaselinePipeline(trace, config, benchmark=workload.name,
-                                **kwargs)
-    if mode == "cdf":
-        return CDFPipeline(trace, config, workload.program,
-                           benchmark=workload.name, **kwargs)
-    if mode == "pre":
-        return PREPipeline(trace, config, workload.program,
-                           benchmark=workload.name, **kwargs)
-    raise ValueError(f"unknown mode: {mode!r}")
+        pipeline = BaselinePipeline(trace, config, benchmark=workload.name,
+                                    **kwargs)
+    elif mode == "cdf":
+        pipeline = CDFPipeline(trace, config, workload.program,
+                               benchmark=workload.name, **kwargs)
+    elif mode == "pre":
+        pipeline = PREPipeline(trace, config, workload.program,
+                               benchmark=workload.name, **kwargs)
+    else:
+        raise ValueError(f"unknown mode: {mode!r}")
+    if config.verify_level > 0:
+        # Imported lazily: at verify_level 0 (every normal run) the
+        # verification subsystem is never even imported.
+        from ..verify import DifferentialOracle, PipelineVerifier
+        oracle = DifferentialOracle(workload.program, workload.memory,
+                                    context=workload.name)
+        pipeline.attach_verifier(PipelineVerifier(
+            level=config.verify_level, oracle=oracle,
+            context=workload.name))
+    return pipeline
 
 
 def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,

@@ -119,6 +119,14 @@ COUNTERS: Dict[str, str] = {
     "runahead_stopped_uncached_bb": "runahead stops at uncached blocks",
     "runahead_chain_truncated": "runahead chains truncated by RS limits",
     "runahead_mshr_rejected": "runahead prefetches rejected by MSHRs",
+    # ------------------------------------------------ runtime verification
+    "verify_retired_uops": "retired uops seen by the invariant checker",
+    "verify_oracle_uops": "retired uops cross-checked by the oracle",
+    "verify_dispatch_checks": "dispatch-time invariant evaluations",
+    "verify_issue_checks": "issue-time invariant evaluations",
+    "verify_cycle_checks": "per-cycle occupancy sweeps (level >= 2)",
+    "verify_structural_scans": "full structural ROB/LSQ/RS scans",
+    "verify_cache_scans": "cache tag-store sanity scans",
 }
 
 #: Dynamic counter families: ``{}``-template (what the static checker

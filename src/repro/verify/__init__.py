@@ -1,0 +1,41 @@
+"""Differential oracle, pipeline invariant checker, and fuzz campaign.
+
+The timing pipelines replay a pre-computed functional trace, so a
+retirement bug is *silent*: the run still finishes and reports an IPC.
+This package closes that hole three ways:
+
+* :class:`DifferentialOracle` — an independent functional re-execution
+  cross-checked against every retired uop at commit;
+* :class:`PipelineVerifier` — leveled invariant checks hooked into the
+  cycle loop behind ``SimConfig.verify_level`` (zero-cost at level 0);
+* :func:`fuzz_program` / :func:`run_fuzz_campaign` — seeded random
+  well-formed programs driven through all three pipelines, surfaced as
+  ``repro-sim verify --fuzz N --seed S``.
+
+See docs/verification.md for the invariant catalogue and replay recipe.
+"""
+
+from .campaign import (CampaignReport, FuzzCase, FuzzFailure, MODES,
+                       fuzz_config, replay_hint, run_fuzz_campaign,
+                       run_fuzz_case)
+from .checker import PipelineVerifier
+from .errors import DivergenceError, InvariantViolation, VerificationError
+from .fuzz import fuzz_program
+from .oracle import DifferentialOracle
+
+__all__ = [
+    "CampaignReport",
+    "DifferentialOracle",
+    "DivergenceError",
+    "FuzzCase",
+    "FuzzFailure",
+    "InvariantViolation",
+    "MODES",
+    "PipelineVerifier",
+    "VerificationError",
+    "fuzz_config",
+    "fuzz_program",
+    "replay_hint",
+    "run_fuzz_campaign",
+    "run_fuzz_case",
+]

@@ -1,0 +1,83 @@
+"""Verification failure types.
+
+Both failure modes — a differential-oracle divergence and a pipeline
+invariant violation — derive from :class:`VerificationError` so callers
+(the fuzz campaign, the CLI, pytest) can catch one type.  Each error
+renders a structured, human-readable report that names the first point
+of divergence and carries a *replay hint*: the exact command that
+regenerates the failing case deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class VerificationError(AssertionError):
+    """Base class for oracle divergences and invariant violations."""
+
+
+class DivergenceError(VerificationError):
+    """The timing pipeline's retired stream diverged from the functional
+    re-execution.  Carries the first divergent uop and what was expected.
+    """
+
+    def __init__(self, field: str, seq: int, pc: int,
+                 expected: Any, actual: Any, cycle: int = -1,
+                 mode: str = "", context: str = "",
+                 replay: str = "") -> None:
+        self.field = field
+        self.seq = seq
+        self.pc = pc
+        self.expected = expected
+        self.actual = actual
+        self.cycle = cycle
+        self.mode = mode
+        self.context = context
+        self.replay = replay
+        super().__init__(self.report())
+
+    def report(self) -> str:
+        lines = [
+            "differential oracle divergence (first divergent uop):",
+            f"  context   : {self.context or '-'}",
+            f"  pipeline  : {self.mode or '-'}",
+            f"  uop       : seq={self.seq} pc={self.pc} "
+            f"(retire cycle {self.cycle})",
+            f"  field     : {self.field}",
+            f"  expected  : {self.expected!r}",
+            f"  actual    : {self.actual!r}",
+        ]
+        if self.replay:
+            lines.append(f"  replay    : {self.replay}")
+        return "\n".join(lines)
+
+
+class InvariantViolation(VerificationError):
+    """A pipeline invariant asserted by the checker failed."""
+
+    def __init__(self, invariant: str, detail: str, cycle: int = -1,
+                 seq: Optional[int] = None, mode: str = "",
+                 context: str = "", replay: str = "") -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.cycle = cycle
+        self.seq = seq
+        self.mode = mode
+        self.context = context
+        self.replay = replay
+        super().__init__(self.report())
+
+    def report(self) -> str:
+        lines = [
+            f"pipeline invariant violated: {self.invariant}",
+            f"  context   : {self.context or '-'}",
+            f"  pipeline  : {self.mode or '-'}",
+            f"  cycle     : {self.cycle}",
+        ]
+        if self.seq is not None:
+            lines.append(f"  uop seq   : {self.seq}")
+        lines.append(f"  detail    : {self.detail}")
+        if self.replay:
+            lines.append(f"  replay    : {self.replay}")
+        return "\n".join(lines)

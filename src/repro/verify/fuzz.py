@@ -1,0 +1,301 @@
+"""Seeded fuzz-program generator over the repro uop ISA.
+
+:func:`fuzz_program` deterministically derives a random but *well-formed*
+program (plus an initial memory image) from a single integer seed.  The
+grammar is tuned to stress exactly the machinery the timing pipelines —
+and especially the CDF/PRE reordering models — get wrong first:
+
+* **loops** — a counted outer loop around a counted inner loop, so the
+  branch predictor sees strong loop structure and the trace is long
+  enough for CDF mode switches to occur;
+* **call/RAS pressure** — a chain of non-recursive functions
+  (``fn_0`` may call ``fn_1`` which may call ``fn_2`` …) exercised from
+  loop bodies, driving return-address-stack depth;
+* **aliasing loads and stores** — a small *alias window* (a handful of
+  words) hammered by both loads and stores, so store-to-load forwarding
+  and memory disambiguation fire constantly;
+* **pointer chasing** — a register walks a closed ring of pointers in
+  memory (each load's address depends on the previous load's value),
+  the canonical criticality chain from the paper;
+* **hard-to-predict branches** — forward skips conditioned on bits of
+  an LCG entropy register, which no history-based predictor learns.
+
+Register convention (all generated programs obey it):
+
+====== =================================================================
+reg    role
+====== =================================================================
+r0     LCG entropy register (only the LCG step writes it)
+r1     outer loop counter (written only at init and the loop tail)
+r2     inner loop counter (written only at init and the loop tail)
+r3–r8  scratch (random ALU/memory destinations)
+r9     pointer-chase cursor (walks the pointer ring)
+r10–13 scratch
+r14    alias-window base (never written after init)
+r15    large-region base (never written after init)
+====== =================================================================
+
+Termination is structural, not probabilistic: the loop counters are
+decremented exactly once per iteration at the loop tail and nothing
+else writes them; every forward skip targets a label later in the same
+block; calls only go to strictly-higher-numbered functions.  A
+generated program therefore always halts, and
+:func:`repro.isa.functional.execute` needs no uop cap in practice
+(callers still pass one as a backstop).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+
+# LCG constants (Knuth MMIX); the entropy register advances through a
+# full-period 2^64 sequence, so branch predicates derived from its bits
+# look random to the predictor but are perfectly deterministic.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+
+#: Registers the generator may clobber freely.
+_SCRATCH = (3, 4, 5, 6, 7, 8, 10, 11, 12, 13)
+
+_ENTROPY = 0
+_OUTER = 1
+_INNER = 2
+_CHASE = 9
+_ALIAS_BASE = 14
+_BIG_BASE = 15
+
+_ALIAS_REGION = 1 << 20      # the hammered alias window lives here
+_RING_REGION = 1 << 22       # pointer ring (never stored to)
+_BIG_REGION = 1 << 26        # large sparse region (masked indices)
+
+_ALIAS_WORDS_CHOICES = (4, 6, 8, 12, 16)
+_RING_WORDS_CHOICES = (8, 16, 32, 64)
+_BIG_MASK_CHOICES = (0x3F, 0xFF, 0x3FF)
+
+
+class _Ctx:
+    """Per-program generation context: labels, layout, and knobs."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._labels = 0
+        self.alias_words = rng.choice(_ALIAS_WORDS_CHOICES)
+        self.ring_words = rng.choice(_RING_WORDS_CHOICES)
+        self.big_mask = rng.choice(_BIG_MASK_CHOICES)
+        #: functions callable from the current scope (label names)
+        self.call_targets: List[str] = []
+
+    def fresh(self, stem: str) -> str:
+        self._labels += 1
+        return f"{stem}_{self._labels}"
+
+
+# ---------------------------------------------------------------- blocks
+def _blk_lcg(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Advance the entropy register one LCG step."""
+    b.mul(_ENTROPY, _ENTROPY, imm=_LCG_A)
+    b.add(_ENTROPY, _ENTROPY, imm=_LCG_C)
+
+
+def _blk_alu(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """A short dependent ALU chain over scratch registers."""
+    rng = ctx.rng
+    ops = ("add", "sub", "mul", "and_", "or_", "xor", "shl", "shr",
+           "cmplt", "cmpeq")
+    for _ in range(rng.randint(1, 3)):
+        op = getattr(b, rng.choice(ops))
+        dst = rng.choice(_SCRATCH)
+        src1 = rng.choice(_SCRATCH + (_ENTROPY,))
+        if rng.random() < 0.5:
+            op(dst, src1, src2=rng.choice(_SCRATCH))
+        else:
+            imm = rng.randint(0, 63) if op in (b.shl, b.shr) \
+                else rng.randint(-128, 127)
+            op(dst, src1, imm=imm)
+
+
+def _blk_longlat(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """A long-latency op (div/mod/fp) to open criticality gaps."""
+    rng = ctx.rng
+    dst = rng.choice(_SCRATCH)
+    src = rng.choice(_SCRATCH + (_ENTROPY,))
+    choice = rng.random()
+    if choice < 0.35:
+        b.div(dst, src, src2=rng.choice(_SCRATCH))
+    elif choice < 0.6:
+        b.mod(dst, src, imm=rng.randint(1, 97))
+    elif choice < 0.8:
+        b.fmul(dst, src, src2=rng.choice(_SCRATCH))
+    else:
+        b.fdiv(dst, src, imm=rng.randint(1, 17))
+
+
+def _blk_alias_store(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Store a scratch value into the tiny alias window."""
+    rng = ctx.rng
+    slot = rng.randrange(ctx.alias_words)
+    b.store(rng.choice(_SCRATCH), base=_ALIAS_BASE, imm=8 * slot)
+
+
+def _blk_alias_load(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Load from the alias window, then use the value (forwarding)."""
+    rng = ctx.rng
+    dst = rng.choice(_SCRATCH)
+    slot = rng.randrange(ctx.alias_words)
+    b.load(dst, base=_ALIAS_BASE, imm=8 * slot)
+    if rng.random() < 0.6:
+        b.add(rng.choice(_SCRATCH), dst, imm=rng.randint(0, 7))
+
+
+def _blk_big_store(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Masked-index store into the large region (confined addresses)."""
+    rng = ctx.rng
+    idx = rng.choice(_SCRATCH)
+    b.and_(idx, rng.choice(_SCRATCH + (_ENTROPY,)), imm=ctx.big_mask)
+    b.store(rng.choice(_SCRATCH), base=_BIG_BASE, index=idx, scale=8)
+
+
+def _blk_big_load(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Masked-index load from the large region (cache pressure)."""
+    rng = ctx.rng
+    idx = rng.choice(_SCRATCH)
+    dst = rng.choice(tuple(r for r in _SCRATCH if r != idx))
+    b.and_(idx, rng.choice(_SCRATCH + (_ENTROPY,)), imm=ctx.big_mask)
+    b.load(dst, base=_BIG_BASE, index=idx, scale=8)
+
+
+def _blk_chase(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Walk the pointer ring: each address depends on the last load."""
+    for _ in range(ctx.rng.randint(1, 3)):
+        b.load(_CHASE, base=_CHASE, imm=0)
+
+
+def _blk_hard_branch(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Forward skip conditioned on an entropy bit — unpredictable."""
+    rng = ctx.rng
+    bit = 1 << rng.randint(0, 15)
+    test = rng.choice(_SCRATCH)
+    skip = ctx.fresh("skip")
+    b.and_(test, _ENTROPY, imm=bit)
+    b.beqz(test, skip) if rng.random() < 0.5 else b.bnez(test, skip)
+    for _ in range(rng.randint(1, 3)):
+        _blk_alu(b, ctx) if rng.random() < 0.7 else _blk_alias_store(b, ctx)
+    b.label(skip)
+
+
+def _blk_call(b: ProgramBuilder, ctx: _Ctx) -> None:
+    """Call one of the currently-visible functions (RAS pressure)."""
+    b.call(ctx.rng.choice(ctx.call_targets))
+
+
+_BODY_BLOCKS = (
+    (_blk_alu, 4),
+    (_blk_lcg, 3),
+    (_blk_alias_store, 3),
+    (_blk_alias_load, 3),
+    (_blk_big_store, 2),
+    (_blk_big_load, 2),
+    (_blk_chase, 2),
+    (_blk_hard_branch, 3),
+    (_blk_longlat, 1),
+    (_blk_call, 2),
+)
+
+
+def _emit_blocks(b: ProgramBuilder, ctx: _Ctx, count: int,
+                 allow_calls: bool) -> None:
+    blocks = [(fn, w) for fn, w in _BODY_BLOCKS
+              if allow_calls or fn is not _blk_call]
+    if not ctx.call_targets:
+        blocks = [(fn, w) for fn, w in blocks if fn is not _blk_call]
+    fns = [fn for fn, _ in blocks]
+    weights = [w for _, w in blocks]
+    for _ in range(count):
+        ctx.rng.choices(fns, weights)[0](b, ctx)
+
+
+# ---------------------------------------------------------------- memory
+def _initial_memory(ctx: _Ctx) -> Dict[int, int]:
+    rng = ctx.rng
+    memory: Dict[int, int] = {}
+    # Closed pointer ring: a random cyclic permutation of the ring slots,
+    # so the chase cursor can never escape the ring.
+    order = list(range(ctx.ring_words))
+    rng.shuffle(order)
+    for pos in range(ctx.ring_words):
+        src = _RING_REGION + 8 * order[pos]
+        dst = _RING_REGION + 8 * order[(pos + 1) % ctx.ring_words]
+        memory[src] = dst
+    # Alias window and a sprinkling of the big region start non-zero so
+    # early loads see real values.
+    for slot in range(ctx.alias_words):
+        memory[_ALIAS_REGION + 8 * slot] = rng.getrandbits(32)
+    for _ in range(16):
+        idx = rng.randint(0, ctx.big_mask)
+        memory[_BIG_REGION + 8 * idx] = rng.getrandbits(32)
+    return memory
+
+
+# ------------------------------------------------------------------ main
+def fuzz_program(seed: int) -> Tuple[Program, Dict[int, int]]:
+    """Derive a deterministic random well-formed program from *seed*.
+
+    Returns ``(program, initial_memory)``.  Two calls with the same seed
+    return identical programs and memory images on any platform (the
+    generator uses only :class:`random.Random`, never ``hash()``).
+    """
+    rng = random.Random(seed)
+    ctx = _Ctx(rng)
+    b = ProgramBuilder()
+
+    outer_iters = rng.randint(6, 14)
+    inner_iters = rng.randint(8, 20)
+    n_funcs = rng.randint(0, 3)
+
+    # --- init ----------------------------------------------------------
+    b.movi(_ENTROPY, seed & 0x7FFFFFFF | 1)
+    b.movi(_ALIAS_BASE, _ALIAS_REGION)
+    b.movi(_BIG_BASE, _BIG_REGION)
+    b.movi(_CHASE, _RING_REGION)
+    for reg in _SCRATCH:
+        b.movi(reg, rng.randint(-64, 64))
+
+    # Function bodies live after HALT; reserve their names now so the
+    # main body can call them, resolve labels when we emit them.
+    fn_names = [ctx.fresh("fn") for _ in range(n_funcs)]
+
+    # --- main body: counted outer loop around a counted inner loop -----
+    ctx.call_targets = fn_names
+    b.movi(_OUTER, outer_iters)
+    outer_top = ctx.fresh("outer")
+    b.label(outer_top)
+
+    _emit_blocks(b, ctx, rng.randint(1, 3), allow_calls=True)
+
+    b.movi(_INNER, inner_iters)
+    inner_top = ctx.fresh("inner")
+    b.label(inner_top)
+    _emit_blocks(b, ctx, rng.randint(4, 9), allow_calls=True)
+    b.sub(_INNER, _INNER, imm=1)
+    b.bnez(_INNER, inner_top)
+
+    _emit_blocks(b, ctx, rng.randint(0, 2), allow_calls=True)
+    b.sub(_OUTER, _OUTER, imm=1)
+    b.bnez(_OUTER, outer_top)
+
+    b.halt()
+
+    # --- functions (deepest-first so callers see callees) --------------
+    for i in reversed(range(n_funcs)):
+        ctx.call_targets = fn_names[i + 1:]
+        b.label(fn_names[i])
+        _emit_blocks(b, ctx, rng.randint(2, 5), allow_calls=True)
+        if ctx.call_targets and rng.random() < 0.5:
+            b.call(ctx.call_targets[0])
+        b.ret()
+
+    return b.build(), _initial_memory(ctx)

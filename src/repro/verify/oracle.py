@@ -1,0 +1,153 @@
+"""Differential oracle: lockstep functional re-execution at commit.
+
+The timing pipelines replay a pre-computed dynamic uop trace, so the
+obvious failure mode of this design is *silent*: a pipeline that retires
+the wrong uop, retires out of program order, drops or duplicates a uop,
+or consumes a corrupted trace record still "finishes" and reports an
+IPC.  The oracle closes that hole by running a second, completely
+independent :class:`~repro.isa.functional.FunctionalMachine` in lockstep
+with retirement:
+
+* every retired uop must be exactly the next architectural instruction
+  (sequence number, pc, opcode) — this catches out-of-order, duplicated,
+  and skipped retirement;
+* memory uops must carry the address the functional machine computes
+  from *its own* register state — this catches trace corruption and any
+  timing-model mutation of the shared trace;
+* loads must name the correct forwarding store (``store_dep`` == the
+  youngest older store to the address) and observe the value that store
+  wrote — the contract store-to-load forwarding relies on;
+* branches must carry the direction and dynamic target the functional
+  machine actually takes;
+* register dataflow edges (``src_deps``) must match the producers the
+  oracle's own last-writer table derives.
+
+The oracle never trusts the trace: everything is recomputed from the
+program text and the initial memory image.  On the first mismatch it
+raises :class:`DivergenceError` with the uop, the field, both values,
+and a replay hint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..isa.dynuop import DynUop
+from ..isa.functional import FunctionalMachine
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from ..isa.registers import NUM_ARCH_REGS
+from .errors import DivergenceError
+
+
+class DifferentialOracle:
+    """Cross-checks a pipeline's retired uop stream at commit time.
+
+    One oracle instance verifies one pipeline run; attach it through
+    :class:`repro.verify.PipelineVerifier`.
+    """
+
+    def __init__(self, program: Program,
+                 memory: Optional[Dict[int, int]] = None,
+                 context: str = "", replay: str = "") -> None:
+        self.machine = FunctionalMachine(program, memory)
+        self.context = context
+        self.replay = replay
+        self.mode = ""
+        self.expected_seq = 0
+        self._last_writer = [-1] * NUM_ARCH_REGS
+        #: addr -> (seq of youngest older store, value it wrote)
+        self._last_store: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _diverge(self, field: str, uop: DynUop, expected, actual,
+                 cycle: int) -> None:
+        raise DivergenceError(
+            field=field, seq=uop.seq, pc=uop.pc,
+            expected=expected, actual=actual, cycle=cycle,
+            mode=self.mode, context=self.context, replay=self.replay)
+
+    # ------------------------------------------------------------------
+    def on_retire(self, uop: DynUop, cycle: int) -> None:
+        """Verify one retired uop against one functional step."""
+        machine = self.machine
+        if machine.halted:
+            self._diverge("retirement past HALT", uop,
+                          "no further retirement", f"seq {uop.seq}", cycle)
+        if uop.seq != self.expected_seq:
+            self._diverge("retirement order", uop,
+                          f"seq {self.expected_seq}", f"seq {uop.seq}",
+                          cycle)
+        pc = machine.pc
+        if uop.pc != pc:
+            self._diverge("pc", uop, pc, uop.pc, cycle)
+        inst = machine.program[pc]
+        if uop.op != int(inst.op):
+            self._diverge("opcode", uop, Opcode(int(inst.op)).name,
+                          Opcode(uop.op).name, cycle)
+
+        # Dataflow edges: the producers our own last-writer table derives.
+        expected_deps = tuple(dict.fromkeys(
+            dep for dep in (self._last_writer[reg]
+                            for reg in inst.source_regs())
+            if dep >= 0))
+        if uop.src_deps != expected_deps:
+            self._diverge("src_deps", uop, expected_deps, uop.src_deps,
+                          cycle)
+
+        # Memory address and forwarding edge, computed before the step
+        # mutates register state.
+        addr = None
+        if inst.is_mem:
+            addr = machine._mem_addr(inst)
+            if uop.mem_addr != addr:
+                self._diverge("mem_addr", uop, addr, uop.mem_addr, cycle)
+            if inst.is_load:
+                store = self._last_store.get(addr)
+                expected_dep = store[0] if store is not None else -1
+                if uop.store_dep != expected_dep:
+                    self._diverge("store_dep (forwarding store)", uop,
+                                  expected_dep, uop.store_dep, cycle)
+                loaded = machine.read_mem(addr)
+                if store is not None and loaded != store[1]:
+                    self._diverge("load value", uop, store[1], loaded,
+                                  cycle)
+        elif uop.mem_addr is not None:
+            self._diverge("mem_addr", uop, None, uop.mem_addr, cycle)
+
+        machine.step()
+
+        # Branch outcome: direction and dynamic target.
+        next_pc = machine.pc
+        if uop.next_pc != next_pc:
+            self._diverge("next_pc (branch outcome)", uop, next_pc,
+                          uop.next_pc, cycle)
+        taken = inst.is_branch and next_pc != pc + 1
+        if inst.op in (Opcode.JMP, Opcode.CALL, Opcode.RET):
+            taken = True
+        if uop.taken != taken:
+            self._diverge("taken", uop, taken, uop.taken, cycle)
+
+        # Architectural writes become visible to younger uops.
+        if inst.writes_reg:
+            if not uop.writes_reg or uop.dst != inst.dst:
+                self._diverge("dst register", uop, inst.dst, uop.dst,
+                              cycle)
+            self._last_writer[inst.dst] = uop.seq
+        elif uop.writes_reg:
+            self._diverge("dst register", uop, None, uop.dst, cycle)
+        if inst.is_store and addr is not None:
+            self._last_store[addr] = (uop.seq, machine.read_mem(addr))
+        self.expected_seq += 1
+
+    # ------------------------------------------------------------------
+    def on_run_end(self, retired: int, trace_len: int) -> None:
+        """Every trace uop must have retired exactly once, in order."""
+        if retired != trace_len or self.expected_seq != trace_len:
+            raise DivergenceError(
+                field="retired uop count", seq=self.expected_seq,
+                pc=self.machine.pc,
+                expected=f"{trace_len} retirements",
+                actual=f"pipeline retired {retired}, "
+                       f"oracle checked {self.expected_seq}",
+                mode=self.mode, context=self.context, replay=self.replay)

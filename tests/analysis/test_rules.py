@@ -238,6 +238,24 @@ def test_stat001_allows_registered_keys():
     """)
 
 
+def test_stat001_allows_registered_verify_counters():
+    assert not findings("STAT001", """
+        def f(self):
+            self.counters.bump("verify_retired_uops")
+            self.counters.bump("verify_oracle_uops")
+            self.counters.bump("verify_structural_scans")
+    """)
+
+
+def test_stat001_flags_undeclared_verify_counter():
+    hits = findings("STAT001", """
+        def f(self):
+            self.counters.bump("verify_bogus_checks")
+    """)
+    assert len(hits) == 1
+    assert "verify_bogus_checks" in hits[0].message
+
+
 def test_stat001_suppressed():
     assert suppressed_count("STAT001", """
         def f(self):

@@ -78,6 +78,23 @@ def test_bad_register_rejected():
         assemble("movi r99, 1\nhalt")
 
 
+def test_register_range_boundary():
+    p = assemble("movi r31, 1\nhalt")       # r31 is the last legal one
+    assert p[0].dst == 31
+    with pytest.raises(AssemblyError, match="out of range"):
+        assemble("movi r32, 1\nhalt")
+
+
+def test_bad_register_reports_line():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("nop\nnop\nadd r1, r40, 1\nhalt")
+
+
+def test_non_register_operand_rejected():
+    with pytest.raises(AssemblyError, match="not a register"):
+        assemble("add r1, x7, 1\nhalt")
+
+
 def test_undefined_label_reported():
     with pytest.raises(AssemblyError, match="undefined label"):
         assemble("jmp missing\nhalt")

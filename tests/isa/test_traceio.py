@@ -54,6 +54,17 @@ def test_roundtrip_preserves_every_field(tmp_path):
         assert a.store_dep == b.store_dep
 
 
+def test_write_read_write_is_bit_identical(tmp_path):
+    """Serialisation is canonical: saving a loaded trace reproduces the
+    original file byte for byte (so cached trace files are stable keys)."""
+    _, trace = sample_trace()
+    first = tmp_path / "a.cdft"
+    second = tmp_path / "b.cdft"
+    save_trace(trace, str(first))
+    save_trace(load_trace(str(first)), str(second))
+    assert first.read_bytes() == second.read_bytes()
+
+
 def test_loaded_trace_simulates_identically(tmp_path):
     _, trace = sample_trace()
     path = str(tmp_path / "t.cdft")

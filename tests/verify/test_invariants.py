@@ -1,0 +1,328 @@
+"""Mutation tests for the pipeline invariant checker.
+
+Each test corrupts one piece of pipeline state (or drives a checker hook
+with an inconsistent entry) and asserts the checker fires with exactly
+the right ``invariant`` name — i.e. the checker's diagnostics are
+trustworthy, not merely "something raised".
+"""
+
+import pytest
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.core.rob import COMPLETE, ISSUED, WAITING, RobEntry
+from repro.isa import assemble, execute
+from repro.verify import InvariantViolation, PipelineVerifier
+
+
+def small_workload():
+    program = assemble("""
+        movi r1, 6
+        movi r2, 4096
+    loop:
+        load r3, [r2]
+        add  r4, r3, 1
+        store r4, [r2 + 8]
+        load r5, [r2 + 8]
+        sub  r1, r1, 1
+        bnez r1, loop
+        halt
+    """)
+    memory = {4096: 5}
+    return program, memory, execute(program, memory)
+
+
+def baseline_with_checker(level=2):
+    program, memory, trace = small_workload()
+    pipeline = BaselinePipeline(trace, SimConfig.baseline(),
+                                benchmark="mutation")
+    verifier = PipelineVerifier(level=level, context="mutation",
+                                replay="replay-me")
+    pipeline.attach_verifier(verifier)
+    return pipeline, verifier, trace
+
+
+def cdf_with_checker(level=2):
+    program, memory, trace = small_workload()
+    pipeline = CDFPipeline(trace, SimConfig.with_cdf(), program,
+                           benchmark="mutation")
+    verifier = PipelineVerifier(level=level, context="mutation")
+    pipeline.attach_verifier(verifier)
+    return pipeline, verifier, trace
+
+
+def entry_for(trace, seq, state=COMPLETE, complete_cycle=0):
+    entry = RobEntry(trace[seq])
+    entry.state = state
+    entry.complete_cycle = complete_cycle
+    return entry
+
+
+def fired(exc_info):
+    return exc_info.value.invariant
+
+
+# --------------------------------------------------------------- plumbing
+def test_level_zero_is_rejected():
+    with pytest.raises(ValueError, match="level >= 1"):
+        PipelineVerifier(level=0)
+
+
+def test_violation_report_names_everything():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.rob.append(entry_for(trace, 0, state=ISSUED))
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_retire(pipeline.rob[0], cycle=9)
+    report = str(exc.value)
+    assert "pipeline invariant violated: retire_incomplete" in report
+    assert "cycle     : 9" in report
+    assert "replay    : replay-me" in report
+
+
+# ----------------------------------------------------------------- retire
+def test_retire_order_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    verifier.on_retire(entry_for(trace, 5), cycle=0)
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_retire(entry_for(trace, 3), cycle=1)
+    assert fired(exc) == "retire_order"
+
+
+def test_retire_flushed_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    entry = entry_for(trace, 0)
+    entry.flushed = True
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_retire(entry, cycle=0)
+    assert fired(exc) == "retire_flushed"
+
+
+def test_retire_incomplete_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_retire(entry_for(trace, 0, state=WAITING), cycle=0)
+    assert fired(exc) == "retire_incomplete"
+
+
+def test_retire_before_complete_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_retire(entry_for(trace, 0, complete_cycle=50), cycle=4)
+    assert fired(exc) == "retire_before_complete"
+
+
+# ------------------------------------------------------------------ issue
+def test_issue_with_pending_wakeups_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    entry = entry_for(trace, 1, state=WAITING)
+    entry.pending = 2
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_issue(entry, cycle=0)
+    assert fired(exc) == "issue_pending_wakeups"
+
+
+def test_issue_flushed_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    entry = entry_for(trace, 1, state=WAITING)
+    entry.flushed = True
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_issue(entry, cycle=0)
+    assert fired(exc) == "issue_flushed"
+
+
+def test_issue_source_not_ready_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    consumer = next(u for u in trace if u.src_deps)
+    producer = RobEntry(trace[consumer.src_deps[0]])
+    producer.state = WAITING
+    pipeline.inflight[producer.seq] = producer
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_issue(RobEntry(consumer), cycle=0)
+    assert fired(exc) == "issue_source_not_ready"
+
+
+def test_forward_without_store_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    non_load = next(u for u in trace if not u.is_load)
+    entry = RobEntry(non_load)
+    entry.forwarded = True
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_issue(entry, cycle=0)
+    assert fired(exc) == "forward_without_store"
+
+
+def test_load_bypassing_forwarding_store_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    load = next(u for u in trace if u.is_load and u.store_dep >= 0)
+    store = RobEntry(trace[load.store_dep])
+    store.state = ISSUED
+    pipeline.inflight[store.seq] = store
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_issue(RobEntry(load), cycle=0)   # not .forwarded
+    assert fired(exc) == "load_bypassed_forwarding_store"
+
+
+# --------------------------------------------------------------- dispatch
+def test_rob_bound_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.rob_size = 2
+    for seq in range(3):
+        pipeline.rob.append(entry_for(trace, seq))
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_dispatch(pipeline.rob[-1], cycle=0, critical=False)
+    assert fired(exc) == "rob_bound"
+
+
+def test_lq_bound_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.lq_used = pipeline.lq_size + 1
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_dispatch(entry_for(trace, 0), cycle=0, critical=False)
+    assert fired(exc) == "lq_bound"
+
+
+def test_partition_rob_bound_violation():
+    pipeline, verifier, trace = cdf_with_checker()
+    pipeline.partitions.rob.critical_size = 2
+    for seq in range(3):
+        pipeline.rob_crit.append(entry_for(trace, seq))
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_dispatch(pipeline.rob_crit[-1], cycle=0, critical=True)
+    assert fired(exc) == "partition_rob_bound"
+
+
+def test_partition_lq_bound_violation():
+    pipeline, verifier, trace = cdf_with_checker()
+    pipeline.lq_crit_used = pipeline.partitions.lq.critical_size + 1
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_dispatch(entry_for(trace, 0), cycle=0, critical=True)
+    assert fired(exc) == "partition_lq_bound"
+
+
+# ------------------------------------------------------------- cycle sweep
+def test_occupancy_total_violation():
+    pipeline, verifier, trace = cdf_with_checker()
+    pipeline.rs_used = pipeline.config.core.rs_size
+    pipeline.rs_crit_used = 1     # sections sum past the physical RS
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_cycle_end(cycle=0)
+    assert fired(exc) == "occupancy_total"
+
+
+def test_negative_occupancy_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.sq_used = -1
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_cycle_end(cycle=0)
+    assert fired(exc) == "negative_occupancy"
+
+
+def test_level_one_skips_cycle_sweeps():
+    pipeline, verifier, trace = baseline_with_checker(level=1)
+    pipeline.sq_used = -1
+    verifier.on_cycle_end(cycle=0)    # event-level checking only: no raise
+
+
+# --------------------------------------------------------- structural scan
+def register(pipeline, entry):
+    pipeline.inflight[entry.seq] = entry
+    return entry
+
+
+def test_rob_order_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.rob.append(register(pipeline, entry_for(trace, 5)))
+    pipeline.rob.append(register(pipeline, entry_for(trace, 3)))
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "rob_order"
+
+
+def test_flushed_entry_in_rob_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    entry = register(pipeline, entry_for(trace, 0))
+    entry.flushed = True
+    pipeline.rob.append(entry)
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "flushed_in_rob"
+
+
+def test_inflight_map_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.rob.append(entry_for(trace, 0))   # not in the inflight map
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "inflight_map"
+
+
+def test_resource_recount_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.lq_used = 4        # no loads actually sit in the ROB
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "resource_recount"
+
+
+def test_unissued_store_tracking_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.conservative_mem = True
+    pipeline._unissued_stores = [99]      # phantom store
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "unissued_store_tracking"
+
+
+def test_cache_duplicate_tag_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    lines = pipeline.mem.l1d._lines[0]
+    for line in lines[:2]:
+        line.valid = True
+        line.tag = 0
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "cache_duplicate_tag"
+
+
+def test_cache_tag_set_mismatch_scan_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    line = pipeline.mem.llc._lines[0][0]
+    line.valid = True
+    line.tag = 1          # belongs in set 1, planted in set 0
+    with pytest.raises(InvariantViolation) as exc:
+        verifier._structural_scan(cycle=0)
+    assert fired(exc) == "cache_tag_set_mismatch"
+
+
+# ---------------------------------------------------------------- run end
+def test_drain_rob_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.rob.append(register(pipeline, entry_for(trace, 0)))
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_run_end()
+    assert fired(exc) == "drain_rob"
+
+
+def test_drain_inflight_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    register(pipeline, entry_for(trace, 0))       # map entry, empty ROB
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_run_end()
+    assert fired(exc) == "drain_inflight"
+
+
+def test_drain_occupancy_violation():
+    pipeline, verifier, trace = baseline_with_checker()
+    pipeline.writers_inflight = 2
+    with pytest.raises(InvariantViolation) as exc:
+        verifier.on_run_end()
+    assert fired(exc) == "drain_occupancy"
+
+
+def test_clean_pipeline_scan_passes():
+    """Uncorrupted freshly-built state passes every structural check."""
+    pipeline, verifier, trace = baseline_with_checker()
+    verifier.on_cycle_end(cycle=0)
+    verifier._structural_scan(cycle=0)
+    verifier.on_run_end()

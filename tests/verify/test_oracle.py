@@ -1,0 +1,201 @@
+"""Differential-oracle tests: clean runs pass, injected bugs are caught.
+
+The centrepiece is the fault-injection test: a test-only monkeypatch
+makes the baseline retire stage swap two completed ROB-head entries
+once, and the oracle must catch the resulting out-of-program-order
+retirement at the *first* divergent uop, naming the field and carrying
+the replayable fuzz seed.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import BaselinePipeline
+from repro.core.rob import COMPLETE
+from repro.isa import assemble, execute
+from repro.verify import (
+    DifferentialOracle,
+    DivergenceError,
+    PipelineVerifier,
+    replay_hint,
+    run_fuzz_case,
+)
+
+
+def sample_workload():
+    program = assemble("""
+        movi r1, 24
+        movi r2, 4096
+        movi r5, 0
+    loop:
+        and  r3, r1, 7
+        load r4, [r2 + r3*8]
+        store r4, [r2 + r3*8 + 256]
+        load r6, [r2 + r3*8 + 256]
+        add  r5, r5, r6
+        call fn
+        sub  r1, r1, 1
+        bnez r1, loop
+        halt
+    fn:
+        add r7, r7, 1
+        ret
+    """)
+    memory = {4096 + i * 8: i * 3 + 1 for i in range(8)}
+    return program, memory, execute(program, memory)
+
+
+def verified_pipeline(program, memory, trace, level=2):
+    pipeline = BaselinePipeline(trace, SimConfig.baseline(),
+                                benchmark="oracle-test")
+    oracle = DifferentialOracle(program, memory, context="oracle-test")
+    pipeline.attach_verifier(PipelineVerifier(
+        level=level, oracle=oracle, context="oracle-test"))
+    return pipeline
+
+
+# ------------------------------------------------------------- clean runs
+def test_clean_run_passes_and_counts_checks():
+    program, memory, trace = sample_workload()
+    pipeline = verified_pipeline(program, memory, trace)
+    pipeline.run()    # must not raise
+    counters = pipeline.counters
+    assert counters["verify_retired_uops"] == len(trace)
+    assert counters["verify_oracle_uops"] == len(trace)
+    assert counters["verify_dispatch_checks"] == len(trace)
+    assert counters["verify_cycle_checks"] > 0
+
+
+def test_oracle_verifies_store_to_load_forwarding_chain():
+    """The sample workload stores then reloads the same address, so a
+    clean run proves the store_dep/load-value cross-check accepts real
+    forwarding chains (not just the absence of memory traffic)."""
+    program, memory, trace = sample_workload()
+    forwarded = [u for u in trace if u.is_load and u.store_dep >= 0]
+    assert forwarded, "workload must exercise store-to-load forwarding"
+    verified_pipeline(program, memory, trace).run()
+
+
+# -------------------------------------------------------- direct divergence
+def test_out_of_order_retirement_diverges():
+    program, memory, trace = sample_workload()
+    oracle = DifferentialOracle(program, memory, context="direct")
+    with pytest.raises(DivergenceError) as exc:
+        oracle.on_retire(trace[1], cycle=0)
+    err = exc.value
+    assert err.field == "retirement order"
+    assert err.seq == trace[1].seq
+    assert "seq 0" in str(err.expected)
+
+
+def test_skipped_uop_diverges():
+    program, memory, trace = sample_workload()
+    oracle = DifferentialOracle(program, memory)
+    oracle.on_retire(trace[0], cycle=0)
+    with pytest.raises(DivergenceError, match="retirement order"):
+        oracle.on_retire(trace[2], cycle=1)
+
+
+def test_duplicate_retirement_diverges():
+    program, memory, trace = sample_workload()
+    oracle = DifferentialOracle(program, memory)
+    oracle.on_retire(trace[0], cycle=0)
+    with pytest.raises(DivergenceError, match="retirement order"):
+        oracle.on_retire(trace[0], cycle=1)
+
+
+def test_short_retirement_count_diverges():
+    program, memory, trace = sample_workload()
+    oracle = DifferentialOracle(program, memory)
+    with pytest.raises(DivergenceError) as exc:
+        oracle.on_run_end(retired=len(trace) - 1, trace_len=len(trace))
+    assert exc.value.field == "retired uop count"
+
+
+# ------------------------------------------------------- trace corruption
+def test_corrupted_mem_addr_caught_through_pipeline():
+    """Mutating one trace record is caught at commit with the right
+    field, even though the timing model itself is bug-free."""
+    program, memory, trace = sample_workload()
+    victim = next(u for u in trace if u.is_load)
+    victim.mem_addr += 8
+    pipeline = verified_pipeline(program, memory, trace)
+    with pytest.raises(DivergenceError) as exc:
+        pipeline.run()
+    err = exc.value
+    assert err.field in ("mem_addr", "store_dep (forwarding store)")
+    assert err.seq == victim.seq
+    assert "first divergent uop" in str(err)
+
+
+def test_corrupted_branch_outcome_caught():
+    program, memory, trace = sample_workload()
+    victim = next(u for u in trace if u.is_cond_branch)
+    victim.taken = not victim.taken
+    victim.next_pc = victim.pc + 1 if victim.taken is False else victim.next_pc
+    oracle = DifferentialOracle(program, memory)
+    with pytest.raises(DivergenceError) as exc:
+        for uop in trace:
+            oracle.on_retire(uop, cycle=uop.seq)
+    assert exc.value.field in ("next_pc (branch outcome)", "taken")
+    assert exc.value.seq == victim.seq
+
+
+# -------------------------------------------------- injected pipeline bug
+INJECT_SEED = 7
+
+
+def test_injected_retirement_swap_is_caught(monkeypatch):
+    """Acceptance check: a deliberately-buggy retire stage that swaps two
+    completed ROB-head entries (retiring them out of program order) must
+    be caught by the oracle on the first divergent uop, and the failure
+    must carry the replayable fuzz-seed command."""
+    original = BaselinePipeline._retire
+    state = {"injected": False}
+
+    def buggy_retire(self, cycle):
+        rob = self.rob
+        if (not state["injected"] and len(rob) >= 2
+                and rob[0].state == COMPLETE
+                and rob[1].state == COMPLETE
+                and rob[0].complete_cycle <= cycle
+                and rob[1].complete_cycle <= cycle):
+            rob[0], rob[1] = rob[1], rob[0]
+            state["injected"] = True
+        return original(self, cycle)
+
+    monkeypatch.setattr(BaselinePipeline, "_retire", buggy_retire)
+    with pytest.raises(DivergenceError) as exc:
+        run_fuzz_case(INJECT_SEED, modes=("baseline",), verify_level=2)
+    assert state["injected"], "fault was never injected"
+    err = exc.value
+    assert err.field == "retirement order"
+    assert err.replay == replay_hint(INJECT_SEED)
+    report = str(err)
+    assert "first divergent uop" in report
+    assert f"--seed {INJECT_SEED}" in report
+
+
+def test_injected_bug_replay_reproduces(monkeypatch):
+    """The replay hint is honest: re-running the same seed with the same
+    injected bug fails identically; removing the bug passes."""
+    original = BaselinePipeline._retire
+
+    def buggy_retire(self, cycle):
+        rob = self.rob
+        if (len(rob) >= 2 and rob[0].state == COMPLETE
+                and rob[1].state == COMPLETE
+                and rob[0].complete_cycle <= cycle
+                and rob[1].complete_cycle <= cycle):
+            rob[0], rob[1] = rob[1], rob[0]
+        return original(self, cycle)
+
+    monkeypatch.setattr(BaselinePipeline, "_retire", buggy_retire)
+    with pytest.raises(DivergenceError) as first:
+        run_fuzz_case(INJECT_SEED, modes=("baseline",), verify_level=1)
+    with pytest.raises(DivergenceError) as second:
+        run_fuzz_case(INJECT_SEED, modes=("baseline",), verify_level=1)
+    assert first.value.seq == second.value.seq
+    assert first.value.field == second.value.field
+    monkeypatch.setattr(BaselinePipeline, "_retire", original)
+    run_fuzz_case(INJECT_SEED, modes=("baseline",), verify_level=1)

@@ -1,0 +1,112 @@
+"""Regression tests for bugs the verification subsystem has caught.
+
+Bug #1 (found by the fuzz campaign, seeds 10/23/42/44 at level 2): the
+CDF partition controller may move the critical/non-critical boundary
+*past the other section's current occupancy* — ``rebalance`` shrinks the
+critical share whenever its utilisation is below 3/4, and
+``ensure_minimum`` grows it unconditionally at mode entry.  The
+allocation gates only compared each section against its own partition
+bound, so while the over-bound section drained, the other section could
+fill up to its enlarged bound and the two sections together exceeded the
+*physical* ROB/RS/LQ/SQ.  The checker's ``occupancy_total`` sweep caught
+it ("ROB occupancy 129 exceeds the physical structure (128)").  The fix
+adds ``CDFPipeline._physical_block_reason``, consulted by both the
+non-critical and the critical allocation gates.
+"""
+
+import pytest
+
+from repro.cdf import CDFPipeline
+from repro.config import SimConfig
+from repro.core.rob import RobEntry
+from repro.isa import assemble, execute
+from repro.verify import run_fuzz_case
+
+#: Campaign seeds that failed with ``occupancy_total`` before the fix.
+FAILING_SEEDS = (10, 23, 42, 44)
+
+
+@pytest.mark.parametrize("seed", FAILING_SEEDS)
+def test_previously_failing_cdf_seeds_verify_clean(seed):
+    case = run_fuzz_case(seed, modes=("cdf",), verify_level=2)
+    assert case.results["cdf"].ipc > 0
+
+
+# ----------------------------------------------------------- minimized
+def make_cdf_pipeline():
+    program = assemble("""
+        movi r1, 4
+    loop:
+        add  r2, r2, 1
+        sub  r1, r1, 1
+        bnez r1, loop
+        halt
+    """)
+    trace = execute(program, {})
+    return CDFPipeline(trace, SimConfig.with_cdf(), program,
+                       benchmark="regression"), trace
+
+
+def fill(rob, trace, count):
+    for _ in range(count):
+        rob.append(RobEntry(trace[0]))
+
+
+def alu_uop(trace):
+    uop = next(u for u in trace if not u.is_mem and not u.is_branch
+               and u.dst is not None)
+    return uop
+
+
+def test_noncritical_allocation_respects_physical_rob():
+    """Post-shrink state: the critical section sits above its shrunken
+    bound while the non-critical section is below its enlarged one.  The
+    per-partition gate alone would admit the uop; the physical gate must
+    refuse it."""
+    p, trace = make_cdf_pipeline()
+    fill(p.rob_crit, trace, 20)
+    p.partitions.rob.critical_size = 8          # shrunk below occupancy
+    fill(p.rob, trace, p.rob_size - 20)
+    uop = alu_uop(trace)
+    # The pre-fix per-partition condition does NOT block...
+    assert len(p.rob) < p.partitions.rob.noncritical_size
+    # ...but allocation must, because the sections sum to the ROB size.
+    assert p._allocation_block_reason(uop) == "rob"
+    assert p._physical_block_reason(uop) == "rob"
+
+
+def test_critical_allocation_respects_physical_rob():
+    """Mirror case: ensure_minimum enlarged the critical share past what
+    the (still-draining) non-critical section leaves free."""
+    p, trace = make_cdf_pipeline()
+    fill(p.rob, trace, p.rob_size - 2)
+    fill(p.rob_crit, trace, 2)
+    p.partitions.rob.critical_size = 10         # grown at mode entry
+    uop = alu_uop(trace)
+    assert len(p.rob_crit) < p.partitions.rob.critical_size
+    assert p._critical_block_reason(uop) == "rob"
+
+
+def test_noncritical_allocation_respects_physical_rs():
+    """Same bug on the RS: the critical RS share (derived from the ROB
+    split) shrinks below the critical section's live RS occupancy."""
+    p, trace = make_cdf_pipeline()
+    fill(p.rob_crit, trace, 1)      # partitioned accounting is active
+    p.partitions.rob.critical_size = 8
+    crit_share = p.partitions.rs_critical_size
+    p.rs_crit_used = crit_share + 6             # above the shrunken share
+    p.rs_used = p.rs_size - p.rs_crit_used
+    uop = alu_uop(trace)
+    assert p.rs_used < p.rs_size - crit_share   # per-partition gate passes
+    assert p._allocation_block_reason(uop) == "rs"
+
+
+def test_physical_gate_is_quiet_when_sections_fit():
+    """The fix must not over-block: with both sections inside their
+    bounds and physical headroom available, allocation proceeds."""
+    p, trace = make_cdf_pipeline()
+    fill(p.rob, trace, 4)
+    fill(p.rob_crit, trace, 2)
+    uop = alu_uop(trace)
+    assert p._physical_block_reason(uop) is None
+    assert p._allocation_block_reason(uop) is None
