@@ -65,8 +65,7 @@ class CDFPipeline(BaselinePipeline):
         cdf = config.cdf
         self.cdf_cfg = cdf
         # Static basic-block map (pc -> leader pc).
-        self.bb_start = [program.basic_block_start(pc)
-                         for pc in range(len(program))]
+        self.bb_start = program.bb_start_table()
 
         # Criticality prediction and trace construction.
         self.cct_loads = make_load_cct(cdf)
@@ -129,6 +128,13 @@ class CDFPipeline(BaselinePipeline):
         budget = self.retire_width
         rob_crit = self.rob_crit
         rob_noncrit = self.rob
+        if not rob_crit and not rob_noncrit:
+            return
+        inflight = self.inflight
+        event_log = self.event_log
+        on_retire = self._on_retire
+        verifier = self.verifier
+        retired_here = 0
         while budget:
             head_c = rob_crit[0] if rob_crit else None
             head_n = rob_noncrit[0] if rob_noncrit else None
@@ -160,33 +166,37 @@ class CDFPipeline(BaselinePipeline):
                 self.sq_used -= entry.uop.is_store
                 if entry.uop.writes_reg:
                     self.writers_inflight -= 1
-            del self.inflight[entry.seq]
+            del inflight[entry.seq]
             if entry.uop.is_store:
                 self.mem.store_commit(cycle, entry.uop.mem_addr)
             self.last_retired_seq = entry.seq
             self.retired += 1
             self._retired_this_cycle += 1
             budget -= 1
-            self.counters.bump("rob_reads")
-            if self.event_log is not None:
-                self.event_log.append((cycle, "R", entry.seq))
-            self._on_retire(entry, cycle)
-            if self.verifier is not None:
-                self.verifier.on_retire(entry, cycle)
+            retired_here += 1
+            if event_log is not None:
+                event_log.append((cycle, "R", entry.seq))
+            on_retire(entry, cycle)
+            if verifier is not None:
+                verifier.on_retire(entry, cycle)
+        if retired_here:
+            counters = self.counters
+            counters["rob_reads"] += retired_here
 
     # ---------------------------------------------------------- CCT training
     def _on_retire(self, entry: RobEntry, cycle: int) -> None:
         uop = entry.uop
         cdf = self.cdf_cfg
+        counters = self.counters
         root_critical = False
         if uop.is_load:
             self.cct_loads.update(uop.pc, entry.llc_miss)
-            self.counters.bump("cct_updates")
+            counters["cct_updates"] += 1
             root_critical = self.cct_loads.is_critical(
                 uop.pc, self.use_permissive)
         elif uop.is_cond_branch:
             self.cct_branches.update(uop.pc, entry.mispredicted)
-            self.counters.bump("cct_updates")
+            counters["cct_updates"] += 1
             if cdf.mark_branches_critical:
                 root_critical = self.cct_branches.is_critical(
                     uop.pc, self.use_permissive)
@@ -195,7 +205,7 @@ class CDFPipeline(BaselinePipeline):
             # Generalised criticality (Sec. 6): long-latency arithmetic
             # roots chains too.
             root_critical = True
-            self.counters.bump("longlat_roots")
+            counters["longlat_roots"] += 1
         self.fill_buffer.record(FillBufferEntry(
             seq=uop.seq, pc=uop.pc, bb_start=self.bb_start[uop.pc],
             dst=uop.dst if uop.writes_reg else None, srcs=uop.srcs,
@@ -252,7 +262,7 @@ class CDFPipeline(BaselinePipeline):
         if not self.cdf_mode:
             super()._fetch(cycle)
             return
-        self.counters.bump("cdf_mode_cycles")
+        self.counters["cdf_mode_cycles"] += 1
         self._critical_fetch(cycle)
         self._regular_fetch_cdf(cycle)
         self._maybe_exit_cdf(cycle)
@@ -290,6 +300,8 @@ class CDFPipeline(BaselinePipeline):
         total = len(trace)
         bb_start = self.bb_start
         buffer = self.crit_fetch_buffer
+        counters = self.counters
+        event_log = self.event_log
         ready_at = cycle + CRIT_FETCH_LATENCY
         emitted = 0
         bbs_left = BBS_PER_CYCLE
@@ -301,10 +313,10 @@ class CDFPipeline(BaselinePipeline):
             entry = self.uop_cache.lookup(bb, cycle)
             if entry is None:
                 self._stop_critical_fetch()
-                self.counters.bump("cdf_exit_uop_cache_miss")
+                counters["cdf_exit_uop_cache_miss"] += 1
                 return
             mask = entry.mask
-            self.counters.bump("uop_cache_reads")
+            counters["uop_cache_reads"] += 1
             # Traverse this basic-block instance.
             while self.crit_seq < total:
                 uop = trace[self.crit_seq]
@@ -317,7 +329,7 @@ class CDFPipeline(BaselinePipeline):
                     return  # stall: critical instruction buffer full
                 mispredicted = False
                 if uop.is_branch:
-                    self.counters.bump("bpred_accesses")
+                    counters["bpred_accesses"] += 1
                     outcome = self.branch_unit.predict_and_train(uop)
                     mispredicted = outcome.mispredicted
                     if mispredicted:
@@ -328,9 +340,9 @@ class CDFPipeline(BaselinePipeline):
                 if is_crit:
                     buffer.append((ready_at, uop))
                     self.critically_fetched.add(uop.seq)
-                    if self.event_log is not None:
-                        self.event_log.append((cycle, "f", uop.seq))
-                    self.counters.bump("crit_fetch_uops")
+                    if event_log is not None:
+                        event_log.append((cycle, "f", uop.seq))
+                    counters["crit_fetch_uops"] += 1
                     emitted += 1
                 self.crit_seq += 1
                 if uop.is_branch:
@@ -339,10 +351,10 @@ class CDFPipeline(BaselinePipeline):
                         # critical (fetched just now), late if it will
                         # only execute in the non-critical stream.
                         self.crit_blocked_on = uop.seq
-                        self.counters.bump(
+                        counters[
                             "crit_fetch_blocked_on_critical_branch"
                             if is_crit else
-                            "crit_fetch_blocked_on_noncritical_branch")
+                            "crit_fetch_blocked_on_noncritical_branch"] += 1
                         return
                     break   # basic block ends at its branch
                 if emitted >= self.fetch_width:
@@ -365,32 +377,37 @@ class CDFPipeline(BaselinePipeline):
             decode = max(1, decode - 2)
             self.counters.bump("nc_uop_cache_reads")
         frontend_q = self.frontend_q
+        frontend_cap = self.frontend_cap
+        counters = self.counters
+        fetched = 0
         ready_at = cycle + decode + self._extra_stage
-        while budget and len(frontend_q) < self.frontend_cap \
+        while budget and len(frontend_q) < frontend_cap \
                 and self.fetch_seq < limit:
             uop = trace[self.fetch_seq]
             self._touch_icache(cycle, uop.pc)
             self.fetch_seq += 1
             frontend_q.append((ready_at, uop))
-            self.counters.bump("fetch_uops")
+            fetched += 1
             budget -= 1
             if uop.is_branch:
                 head = self.dbq.peek()
                 if head is None or head.seq != uop.seq:
                     # Should not happen: every branch below crit_seq has a
                     # DBQ entry. Fall back to predicting locally.
-                    self.counters.bump("dbq_mismatches")
+                    counters["dbq_mismatches"] += 1
                     outcome = self.branch_unit.predict_and_train(uop)
                     mispredicted = outcome.mispredicted
                 else:
                     self.dbq.pop()
-                    self.counters.bump("dbq_pops")
+                    counters["dbq_pops"] += 1
                     mispredicted = head.mispredicted
                 if mispredicted:
                     self._block_fetch_on(uop.seq, cycle)
                     break
                 if uop.taken:
                     break
+        if fetched:
+            counters["fetch_uops"] += fetched
 
     def _block_fetch_on(self, seq: int, cycle: int) -> None:
         """Stall regular fetch until branch *seq* resolves (it may already
@@ -471,7 +488,7 @@ class CDFPipeline(BaselinePipeline):
                 budget -= 1
                 if self.event_log is not None:
                     self.event_log.append((cycle, "p", seq))
-                self.counters.bump("replayed_uops")
+                self.counters["replayed_uops"] += 1
                 continue
             reason = self._allocation_block_reason(uop)
             if reason is not None:
@@ -491,9 +508,9 @@ class CDFPipeline(BaselinePipeline):
         if crit_blocked in ("rob", "lq", "sq"):
             if partitioned:
                 getattr(partitions, crit_blocked).note_stall(critical=True)
-            self.counters.bump(f"crit_dispatch_stall_{crit_blocked}_cycles")
+            self.counters[f"crit_dispatch_stall_{crit_blocked}_cycles"] += 1
         elif crit_blocked is not None:
-            self.counters.bump(f"crit_dispatch_stall_{crit_blocked}_cycles")
+            self.counters[f"crit_dispatch_stall_{crit_blocked}_cycles"] += 1
         blocked = self._dispatch_blocked
         if blocked in ("rob", "lq", "sq") and partitioned:
             getattr(partitions, blocked).note_stall(critical=False)
@@ -602,7 +619,7 @@ class CDFPipeline(BaselinePipeline):
                 # register dependence violation (Sec. 3.6), detected by
                 # the poison bit when the rename is replayed.
                 entry.poisoned = True
-                self.counters.bump("poisoned_register_sources")
+                self.counters["poisoned_register_sources"] += 1
                 continue
             producer = inflight.get(dep)
             if producer is not None and not producer.flushed \
@@ -615,7 +632,7 @@ class CDFPipeline(BaselinePipeline):
                 # Memory dependence violation: the forwarding store was
                 # not marked critical (Sec. 3.5, Memory Disambiguation).
                 entry.poisoned = True
-                self.counters.bump("poisoned_memory_sources")
+                self.counters["poisoned_memory_sources"] += 1
             else:
                 store = inflight.get(store_dep)
                 if store is not None and not store.flushed:
@@ -640,8 +657,9 @@ class CDFPipeline(BaselinePipeline):
         self._crit_session_seqs.add(uop.seq)
         if self.event_log is not None:
             self.event_log.append((cycle, "d", uop.seq))
-        self.counters.bump("crit_rename_uops")
-        self.counters.bump("rob_writes")
+        counters = self.counters
+        counters["crit_rename_uops"] += 1
+        counters["rob_writes"] += 1
         if self.verifier is not None:
             self.verifier.on_dispatch(entry, cycle, critical=True)
         return entry

@@ -8,6 +8,7 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim figure fig13 --scale 0.6 --jobs 4
     repro-sim report --scale 0.6 --output report.md
     repro-sim cache stats
+    repro-sim perf [--smoke] [--baseline benchmarks/perf_baseline.json]
     repro-sim disasm bzip
     repro-sim lint [paths...] [--format json] [--baseline FILE]
     repro-sim verify --fuzz 50 --seed 0
@@ -138,8 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="limit to figure keys (fig13, fig17, ...)")
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent result cache")
+        "cache",
+        help="inspect or clear the persistent result + trace caches")
     cache.add_argument("action", choices=("stats", "clear"))
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the pinned perf micro-suite and write BENCH_perf.json "
+             "(see docs/performance.md)")
+    perf.add_argument("--smoke", action="store_true",
+                      help="smaller scale and fewer reps (CI smoke job)")
+    perf.add_argument("--reps", type=int, default=None, metavar="N",
+                      help="timing repetitions per phase (best-of-N)")
+    perf.add_argument("--output", default=None, metavar="PATH",
+                      help=f"report path (default ./{perf_default_report()})")
+    perf.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed ratio-floor JSON to enforce (cross-machine); "
+             "regressions beyond --tolerance exit nonzero")
+    perf.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="regression band as a fraction (default 0.30)")
+    perf.add_argument("--quiet", action="store_true",
+                      help="suppress phase progress on stderr")
 
     verify = sub.add_parser(
         "verify",
@@ -276,7 +298,9 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    from .harness import get_trace_store
     cache = ResultCache()
+    store = get_trace_store()
     if args.action == "stats":
         stats = cache.stats()
         print(render_table(
@@ -285,11 +309,86 @@ def cmd_cache(args) -> int:
             [("directory", stats["root"]),
              ("entries", stats["entries"]),
              ("size", f"{stats['bytes'] / 1024:.1f} KiB")]))
+        tstats = store.stats()
+        print(render_table(
+            "trace cache",
+            ("property", "value"),
+            [("directory", tstats["root"]),
+             ("entries", tstats["entries"]),
+             ("size", f"{tstats['bytes'] / 1024:.1f} KiB")]))
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached result"
           f"{'s' if removed != 1 else ''} from {cache.root}")
+    removed_traces = store.clear()
+    print(f"removed {removed_traces} compiled trace"
+          f"{'s' if removed_traces != 1 else ''} from {store.root}")
     return 0
+
+
+def perf_default_report() -> str:
+    from .harness.perfbench import DEFAULT_REPORT
+    return DEFAULT_REPORT
+
+
+def cmd_perf(args) -> int:
+    import json
+
+    from .harness.perfbench import (
+        DEFAULT_TOLERANCE,
+        compare_ratios,
+        compare_timings,
+        run_perfbench,
+    )
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            print(f"... {line}", file=sys.stderr)
+
+    output = args.output or perf_default_report()
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+
+    previous = None
+    try:
+        with open(output) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        previous = None
+
+    report = run_perfbench(smoke=args.smoke, reps=args.reps,
+                           progress=progress)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    timings = report["timings"]
+    derived = report["derived"]
+    rows = [(metric, f"{timings[metric]:.3f} s")
+            for metric in sorted(timings)]
+    rows += [(metric, f"{derived[metric]:.3f}x")
+             for metric in sorted(derived)]
+    print(render_table("perf micro-suite"
+                       + (" (smoke)" if args.smoke else ""),
+                       ("metric", "value"), rows))
+    print(f"report written to {output}")
+
+    failures = []
+    if previous is not None:
+        failures += [f"vs previous run: {line}"
+                     for line in compare_timings(report, previous,
+                                                 tolerance)]
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures += [f"vs {args.baseline}: {line}"
+                     for line in compare_ratios(report, baseline,
+                                                tolerance)]
+    for line in failures:
+        print(f"PERF REGRESSION {line}")
+    if not failures and (previous is not None or args.baseline):
+        print("no regressions beyond the "
+              f"{tolerance * 100:.0f}% tolerance band")
+    return 1 if failures else 0
 
 
 def cmd_verify(args) -> int:
@@ -359,6 +458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": cmd_disasm,
         "report": cmd_report,
         "cache": cmd_cache,
+        "perf": cmd_perf,
         "verify": cmd_verify,
     }
     code = handlers[args.command](args)

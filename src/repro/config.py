@@ -28,6 +28,49 @@ import typing
 from dataclasses import dataclass, field
 
 
+class FrozenConfigError(AttributeError):
+    """A config object was mutated after :meth:`SimConfig.freeze`."""
+
+
+class _Freezable:
+    """Opt-in immutability for the config dataclasses.
+
+    Configs are born mutable (builders tweak fields freely), but once a
+    config enters the experiment engine its canonical JSON becomes a
+    cache key: silent mutation after that point would corrupt
+    content-addressed results.  ``freeze()`` flips the object (and, for
+    :class:`SimConfig`, every nested config) read-only, which also makes
+    it safe to memoize :meth:`SimConfig.canonical_json` /
+    :meth:`SimConfig.fingerprint` — the engine's per-job cache-key path
+    then re-canonicalizes nothing.  Use :meth:`SimConfig.copy` to derive
+    a fresh mutable config from a frozen one.
+    """
+
+    _frozen: bool = False        # class default; flipped per-instance
+
+    def __setattr__(self, name: str, value: typing.Any) -> None:
+        if self._frozen:
+            raise FrozenConfigError(
+                f"cannot set {name!r}: this "
+                f"{type(self).__name__} was frozen when it entered the "
+                f"experiment engine (its fingerprint is a cache key); "
+                f"derive a mutable copy with SimConfig.copy()")
+        object.__setattr__(self, name, value)
+
+    def freeze(self) -> "_Freezable":
+        """Make this object (and nested configs) immutable; returns it."""
+        for f in dataclasses.fields(self):          # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if isinstance(value, _Freezable):
+                value.freeze()
+        object.__setattr__(self, "_frozen", True)
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+
 def _dataclass_from_dict(cls: type, data: dict) -> typing.Any:
     """Rebuild a (possibly nested) config dataclass from a plain dict.
 
@@ -49,7 +92,7 @@ def _dataclass_from_dict(cls: type, data: dict) -> typing.Any:
 
 
 @dataclass
-class CoreConfig:
+class CoreConfig(_Freezable):
     """Out-of-order core parameters (Table 1, 'Core')."""
 
     freq_ghz: float = 3.2
@@ -94,7 +137,7 @@ class CoreConfig:
 
 
 @dataclass
-class CacheConfig:
+class CacheConfig(_Freezable):
     """One cache level."""
 
     size_bytes: int
@@ -109,7 +152,7 @@ class CacheConfig:
 
 
 @dataclass
-class PrefetcherConfig:
+class PrefetcherConfig(_Freezable):
     """Stream prefetcher with feedback-directed throttling (Table 1)."""
 
     enabled: bool = True
@@ -125,7 +168,7 @@ class PrefetcherConfig:
 
 
 @dataclass
-class DRAMConfig:
+class DRAMConfig(_Freezable):
     """DDR4-2400R main memory (Table 1, 'Memory').
 
     Timing parameters are in *memory* cycles (1200 MHz for DDR4-2400) and
@@ -154,7 +197,7 @@ class DRAMConfig:
 
 
 @dataclass
-class CDFConfig:
+class CDFConfig(_Freezable):
     """Criticality Driven Fetch structures and policies (Table 1 + Sec. 3)."""
 
     enabled: bool = True
@@ -238,7 +281,7 @@ class CDFConfig:
 
 
 @dataclass
-class PREConfig:
+class PREConfig(_Freezable):
     """Precise Runahead comparator (Sec. 4.1).
 
     Per the paper's fair-comparison methodology, PRE uses the *same*
@@ -268,7 +311,7 @@ class PREConfig:
 
 
 @dataclass
-class SimConfig:
+class SimConfig(_Freezable):
     """Top-level simulation configuration."""
 
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -326,25 +369,59 @@ class SimConfig:
 
     # ------------------------------------------------ stable serialization
     def to_dict(self) -> dict:
-        """Plain-dict form (nested dataclasses become nested dicts)."""
+        """Plain-dict form (nested dataclasses become nested dicts).
+
+        Always returns a fresh dict the caller may mutate.  On a frozen
+        config it is rebuilt from the memoized canonical JSON (one C
+        ``json.loads`` instead of a recursive ``dataclasses.asdict``
+        walk); config values are JSON-exact scalars, so the round trip
+        is lossless.
+        """
+        if self._frozen:
+            result: dict = json.loads(self.canonical_json())
+            return result
         return dataclasses.asdict(self)
 
     @staticmethod
     def from_dict(data: dict) -> "SimConfig":
         """Inverse of :meth:`to_dict`; tolerant of unknown/missing keys."""
-        return _dataclass_from_dict(SimConfig, data)
+        config: SimConfig = _dataclass_from_dict(SimConfig, data)
+        return config
+
+    def copy(self) -> "SimConfig":
+        """A fresh, always-mutable deep copy (frozen or not)."""
+        return SimConfig.from_dict(self.to_dict())
 
     def canonical_json(self) -> str:
         """Deterministic JSON rendering: sorted keys, no whitespace.
 
         This is the representation the experiment engine hashes into
         on-disk cache keys, so it must be byte-stable across processes
-        and Python versions for equal configs.
+        and Python versions for equal configs.  Memoized once the
+        config is frozen (the engine freezes every job config), so the
+        per-job cache-key path stops re-canonicalizing JSON.
         """
-        return json.dumps(self.to_dict(), sort_keys=True,
+        if self._frozen:
+            cached = self.__dict__.get("_canonical_json_cache")
+            if cached is None:
+                cached = json.dumps(dataclasses.asdict(self),
+                                    sort_keys=True,
+                                    separators=(",", ":"))
+                object.__setattr__(self, "_canonical_json_cache", cached)
+            return typing.cast(str, cached)
+        return json.dumps(dataclasses.asdict(self), sort_keys=True,
                           separators=(",", ":"))
 
     def fingerprint(self) -> str:
-        """SHA-256 hex digest of :meth:`canonical_json`."""
+        """SHA-256 hex digest of :meth:`canonical_json` (memoized on
+        frozen configs alongside the canonical JSON)."""
+        if self._frozen:
+            cached = self.__dict__.get("_fingerprint_cache")
+            if cached is None:
+                digest = hashlib.sha256(
+                    self.canonical_json().encode("utf-8"))
+                cached = digest.hexdigest()
+                object.__setattr__(self, "_fingerprint_cache", cached)
+            return typing.cast(str, cached)
         digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
         return digest.hexdigest()

@@ -61,6 +61,25 @@ class BaselinePipeline:
             raise ValueError(
                 f"unknown memory_disambiguation: "
                 f"{core.memory_disambiguation!r}")
+        self.l1d_latency = config.l1d.latency
+
+        # Hook elision: resolve once whether a subclass actually overrides
+        # each per-uop hook.  The base-class hooks are no-ops, so skipping
+        # the call entirely is behaviour-neutral; it saves one Python call
+        # per renamed/retired/completed uop in the modes that leave a hook
+        # at its default (the baseline leaves all of them).
+        cls = type(self)
+        self._use_is_critical = (
+            cls._is_critical is not BaselinePipeline._is_critical)
+        self._use_on_dispatch = (
+            cls._on_dispatch is not BaselinePipeline._on_dispatch)
+        self._use_on_retire = (
+            cls._on_retire is not BaselinePipeline._on_retire)
+        self._use_on_complete = (
+            cls._on_complete is not BaselinePipeline._on_complete)
+        self._use_note_branch = (
+            cls._note_branch_outcome
+            is not BaselinePipeline._note_branch_outcome)
 
         self.mlp_tracker = MLPTracker()
         self.mem = MemoryHierarchy(config, mlp_tracker=self.mlp_tracker)
@@ -141,39 +160,67 @@ class BaselinePipeline:
         warmup = self.config.stats_warmup_uops
         warm_snap = None
         verifier = self.verifier
+        max_cycles = self.config.max_cycles
+        # Bind the stage methods once: the cycle loop is the hottest loop
+        # in the repository and the per-cycle attribute lookups add up.
+        # Subclass overrides are resolved here (no stage is ever rebound
+        # mid-run), so the binding is behaviour-neutral.
+        writeback = self._writeback
+        retire = self._retire
+        issue = self._issue
+        dispatch = self._dispatch
+        fetch = self._fetch
+        advance = self._advance
         cycle = 0
         while self.retired < total:
-            if cycle >= self.config.max_cycles:
+            if cycle >= max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded max_cycles={self.config.max_cycles}")
             self._retired_this_cycle = 0
-            self._writeback(cycle)
-            self._retire(cycle)
-            self._issue(cycle)
-            self._dispatch(cycle)
-            self._fetch(cycle)
+            writeback(cycle)
+            retire(cycle)
+            issue(cycle)
+            dispatch(cycle)
+            fetch(cycle)
             if verifier is not None:
                 verifier.on_cycle_end(cycle)
             if warm_snap is None and warmup and self.retired >= warmup:
                 warm_snap = self._snapshot(cycle)
-            cycle = self._advance(cycle)
+            cycle = advance(cycle)
         self.cycle = cycle
         if verifier is not None:
             verifier.on_run_end()
         return self._build_result(cycle, warm_snap)
 
     # ------------------------------------------------------------------ stages
+    #
+    # The stage bodies below localize hot attribute/method lookups
+    # (``heapq.heappop``, ``self.counters``, ``self.event_log``) into
+    # function locals and batch per-event counter increments into one
+    # dict subscript per stage call.  Both are purely mechanical: the
+    # order of state updates, the set of counter keys written, and every
+    # counter total are bit-identical to the straightforward form (the
+    # serial-vs-parallel and fingerprint tests pin this down).  Counter
+    # subscripts use statically-declared keys, which simlint's STAT001
+    # checks exactly like ``bump`` arguments; see docs/performance.md.
     def _writeback(self, cycle: int) -> None:
         events = self.events
+        if not events or events[0][0] > cycle:
+            return
+        event_log = self.event_log
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        ready_q = self.ready_q
+        on_complete = self._on_complete if self._use_on_complete else None
+        completed = 0
         while events and events[0][0] <= cycle:
-            _, _, entry = heapq.heappop(events)
+            entry = heappop(events)[2]
             if entry.flushed:
                 continue
             entry.state = COMPLETE
-            if self.event_log is not None:
-                self.event_log.append((entry.complete_cycle, "C",
-                                       entry.seq))
-            self.counters.bump("wakeup_broadcasts")
+            if event_log is not None:
+                event_log.append((entry.complete_cycle, "C", entry.seq))
+            completed += 1
             waiters = entry.waiters
             if waiters:
                 for waiter in waiters:
@@ -181,14 +228,23 @@ class BaselinePipeline:
                     if (waiter.pending == 0 and waiter.state == WAITING
                             and not waiter.flushed):
                         waiter.state = READY
-                        self._push_ready(waiter)
+                        # _push_ready, inlined (one call per wakeup).
+                        # self._tiebreak stays authoritative because the
+                        # on_complete hook below may push entries too.
+                        tiebreak = self._tiebreak + 1
+                        self._tiebreak = tiebreak
+                        heappush(ready_q, (waiter.seq, tiebreak, waiter))
                 entry.waiters = None
             if entry.seq == self.fetch_blocked_on:
                 self.fetch_blocked_on = None
                 self.fetch_resume_cycle = max(
                     self.fetch_resume_cycle,
                     entry.complete_cycle + self.redirect_penalty)
-            self._on_complete(entry, cycle)
+            if on_complete is not None:
+                on_complete(entry, cycle)
+        if completed:
+            counters = self.counters
+            counters["wakeup_broadcasts"] += completed
 
     def _on_complete(self, entry: RobEntry, cycle: int) -> None:
         """Subclass hook at writeback (CDF unblocks critical fetch here)."""
@@ -199,13 +255,23 @@ class BaselinePipeline:
 
     def _retire(self, cycle: int) -> None:
         rob = self.rob
+        if not rob:
+            return
         budget = self.retire_width
+        inflight = self.inflight
+        event_log = self.event_log
+        on_retire = self._on_retire if self._use_on_retire else None
+        verifier = self.verifier
+        retired_here = 0
+        # ``self.retired``/``_retired_this_cycle`` stay per-entry: the
+        # ``_on_retire`` hooks (CDF's fill-buffer walk interval, PRE's
+        # training) read them mid-loop, so only the counter is batched.
         while budget and rob:
             entry = rob[0]
             if entry.state != COMPLETE or entry.complete_cycle > cycle:
                 break
             rob.popleft()
-            del self.inflight[entry.seq]
+            del inflight[entry.seq]
             uop = entry.uop
             if uop.is_load:
                 self.lq_used -= 1
@@ -217,19 +283,26 @@ class BaselinePipeline:
             self.retired += 1
             self._retired_this_cycle += 1
             budget -= 1
-            self.counters.bump("rob_reads")
-            if self.event_log is not None:
-                self.event_log.append((cycle, "R", entry.seq))
-            self._on_retire(entry, cycle)
-            if self.verifier is not None:
-                self.verifier.on_retire(entry, cycle)
+            retired_here += 1
+            if event_log is not None:
+                event_log.append((cycle, "R", entry.seq))
+            if on_retire is not None:
+                on_retire(entry, cycle)
+            if verifier is not None:
+                verifier.on_retire(entry, cycle)
+        if retired_here:
+            counters = self.counters
+            counters["rob_reads"] += retired_here
 
     def _issue(self, cycle: int) -> None:
         budget = self.issue_width
         loads_left = self.load_ports
         stores_left = self.store_ports
-        ports_left = {"alu": self.alu_ports, "fp": self.fp_ports,
-                      "muldiv": self.muldiv_ports}
+        # Scalar port counters (not a dict): most issued uops are ALU ops
+        # and the per-uop dict hash/getitem/setitem shows up in profiles.
+        alu_left = self.alu_ports
+        fp_left = self.fp_ports
+        muldiv_left = self.muldiv_ports
 
         # MSHR-full rejections are retried oldest-first. A couple of failed
         # probes per cycle is enough to learn the MSHRs are still full;
@@ -252,22 +325,27 @@ class BaselinePipeline:
             self.retry_loads = still_waiting
 
         deferred = []
+        defer = deferred.append
         ready_q = self.ready_q
+        heappop = heapq.heappop
+        counters = self.counters
+        conservative_mem = self.conservative_mem
+        unissued_stores = self._unissued_stores
         while ready_q and budget:
-            item = heapq.heappop(ready_q)
+            item = heappop(ready_q)
             entry = item[2]
             if entry.state != READY or entry.flushed:
                 continue
             uop = entry.uop
             if uop.is_load:
-                if self.conservative_mem and self._unissued_stores \
-                        and self._unissued_stores[0] < entry.seq:
+                if conservative_mem and unissued_stores \
+                        and unissued_stores[0] < entry.seq:
                     # An older store has not computed its address yet.
-                    deferred.append(item)
-                    self.counters.bump("loads_held_by_stores")
+                    defer(item)
+                    counters["loads_held_by_stores"] += 1
                     continue
                 if loads_left == 0:
-                    deferred.append(item)
+                    defer(item)
                     continue
                 if failed_probes >= 2 and not entry.forwarded:
                     self.retry_loads.append(entry)
@@ -282,15 +360,28 @@ class BaselinePipeline:
                 continue
             if uop.is_store:
                 if stores_left == 0:
-                    deferred.append(item)
+                    defer(item)
                     continue
                 stores_left -= 1
             else:
+                # Loads/stores were handled above, so exec_class here is
+                # exactly one of 'alu' / 'fp' / 'muldiv'.
                 unit = uop.exec_class
-                if ports_left[unit] == 0:
-                    deferred.append(item)
-                    continue
-                ports_left[unit] -= 1
+                if unit == "alu":
+                    if alu_left == 0:
+                        defer(item)
+                        continue
+                    alu_left -= 1
+                elif unit == "fp":
+                    if fp_left == 0:
+                        defer(item)
+                        continue
+                    fp_left -= 1
+                else:
+                    if muldiv_left == 0:
+                        defer(item)
+                        continue
+                    muldiv_left -= 1
             self._complete_at(entry, cycle, cycle + uop.exec_lat)
             budget -= 1
         for item in deferred:
@@ -299,10 +390,11 @@ class BaselinePipeline:
     def _issue_load(self, entry: RobEntry, cycle: int) -> bool:
         """Issue one load to the memory system; False if MSHRs rejected it."""
         uop = entry.uop
-        self.counters.bump("sq_searches")
+        counters = self.counters
+        counters["sq_searches"] += 1
         if entry.forwarded:
-            completion = cycle + self.config.l1d.latency
-            self.counters.bump("store_forwards")
+            completion = cycle + self.l1d_latency
+            counters["store_forwards"] += 1
             self._complete_at(entry, cycle, completion)
             return True
         result = self.mem.load(cycle, uop.mem_addr,
@@ -312,7 +404,7 @@ class BaselinePipeline:
         if result.llc_miss:
             entry.llc_miss = True
             self.llc_miss_load_seqs.append(entry.seq)
-            self.counters.bump("llc_miss_loads")
+            counters["llc_miss_loads"] += 1
         self._complete_at(entry, cycle, result.completion)
         return True
 
@@ -327,11 +419,12 @@ class BaselinePipeline:
         entry.complete_cycle = max(completion, cycle + 1)
         self.rs_used -= 1
         uop = entry.uop
-        self.counters.bump("prf_reads", len(uop.srcs))
+        counters = self.counters
+        counters["prf_reads"] += len(uop.srcs)
         if uop.writes_reg:
-            self.counters.bump("prf_writes")
+            counters["prf_writes"] += 1
         if uop.is_store:
-            self.counters.bump("lq_searches")
+            counters["lq_searches"] += 1
             if self.conservative_mem:
                 self._unissued_stores.remove(entry.seq)
         self._tiebreak += 1
@@ -345,8 +438,11 @@ class BaselinePipeline:
         budget = self.rename_width
         self._dispatch_blocked = None
         frontend_q = self.frontend_q
-        while budget and frontend_q and frontend_q[0][0] <= cycle:
-            uop = frontend_q[0][1]
+        while budget and frontend_q:
+            head = frontend_q[0]
+            if head[0] > cycle:
+                break
+            uop = head[1]
             reason = self._allocation_block_reason(uop)
             if reason is not None:
                 self._dispatch_blocked = reason
@@ -370,9 +466,17 @@ class BaselinePipeline:
             return "prf"
         return None
 
-    def _wire_dependencies(self, entry: RobEntry) -> int:
-        """Register *entry* on its in-flight producers; return pending count."""
-        uop = entry.uop
+    def _allocate(self, uop: DynUop, cycle: int) -> RobEntry:
+        entry = RobEntry(
+            uop,
+            critical=self._is_critical(uop) if self._use_is_critical
+            else False)
+        if uop.seq in self._mispredicted_seqs:
+            entry.mispredicted = True
+            self._mispredicted_seqs.discard(uop.seq)
+        # Dependency wiring (the former _wire_dependencies helper, inlined
+        # here — its only call site — to drop one call per renamed uop):
+        # register *entry* on each in-flight producer, count pending ones.
         inflight = self.inflight
         pending = 0
         for dep in uop.src_deps:
@@ -388,22 +492,17 @@ class BaselinePipeline:
                 if store.state != COMPLETE:
                     store.add_waiter(entry)
                     pending += 1
-        return pending
-
-    def _allocate(self, uop: DynUop, cycle: int) -> RobEntry:
-        entry = RobEntry(uop, critical=self._is_critical(uop))
-        if uop.seq in self._mispredicted_seqs:
-            entry.mispredicted = True
-            self._mispredicted_seqs.discard(uop.seq)
-        pending = self._wire_dependencies(entry)
         entry.pending = pending
         if pending == 0:
             entry.state = READY
-            self._push_ready(entry)
+            # _push_ready, inlined.
+            tiebreak = self._tiebreak + 1
+            self._tiebreak = tiebreak
+            heapq.heappush(self.ready_q, (entry.seq, tiebreak, entry))
         if self.conservative_mem and uop.is_store:
             bisect.insort(self._unissued_stores, uop.seq)
         self.rob.append(entry)
-        self.inflight[uop.seq] = entry
+        inflight[uop.seq] = entry
         self.rs_used += 1
         if uop.is_load:
             self.lq_used += 1
@@ -411,27 +510,30 @@ class BaselinePipeline:
             self.sq_used += 1
         if uop.writes_reg:
             self.writers_inflight += 1
-        self.counters.bump("rename_uops")
-        self.counters.bump("rob_writes")
+        counters = self.counters
+        counters["rename_uops"] += 1
+        counters["rob_writes"] += 1
         if self.event_log is not None:
             self.event_log.append((cycle, "D", uop.seq))
-        self._on_dispatch(entry, cycle)
+        if self._use_on_dispatch:
+            self._on_dispatch(entry, cycle)
         if self.verifier is not None:
             self.verifier.on_dispatch(entry, cycle, critical=False)
         return entry
 
     # ------------------------------------------------------------------ stalls
     def _account_stall(self, cycle: int, reason: str, weight: int) -> None:
+        counters = self.counters
         if reason == "rob":
-            self.counters.bump("full_window_stall_cycles", weight)
+            counters["full_window_stall_cycles"] += weight
             if self.rob:
                 head = self.rob[0]
                 if head.uop.is_load and head.llc_miss and head.state == ISSUED:
-                    self.counters.bump("stall_head_llc_miss_cycles", weight)
+                    counters["stall_head_llc_miss_cycles"] += weight
                 if self.profiler is not None:
                     self.profiler.on_stall_cycle(head.seq, self.rob[-1].seq,
                                                  weight)
-        self.counters.bump(f"dispatch_stall_{reason}_cycles", weight)
+        counters[f"dispatch_stall_{reason}_cycles"] += weight
         self._on_stall_cycles(cycle, reason, weight)
 
     # ------------------------------------------------------------------ fetch
@@ -444,21 +546,35 @@ class BaselinePipeline:
             return
         budget = self.fetch_width
         frontend_q = self.frontend_q
+        frontend_cap = self.frontend_cap
+        event_log = self.event_log
+        counters = self.counters
+        fetch_seq = self.fetch_seq
+        note_branch = (self._note_branch_outcome if self._use_note_branch
+                       else None)
+        ifetch = self.mem.ifetch
+        last_line = self._last_ifetch_line
+        fetched = 0
         ready_at = cycle + self.decode_latency
-        while budget and len(frontend_q) < self.frontend_cap \
-                and self.fetch_seq < total:
-            uop = trace[self.fetch_seq]
-            self._touch_icache(cycle, uop.pc)
-            self.fetch_seq += 1
+        while budget and len(frontend_q) < frontend_cap \
+                and fetch_seq < total:
+            uop = trace[fetch_seq]
+            # _touch_icache, inlined (one call per fetched uop).
+            line = uop.pc // UOPS_PER_ICACHE_LINE
+            if line != last_line:
+                ifetch(cycle, line)
+                last_line = line
+            fetch_seq += 1
             frontend_q.append((ready_at, uop))
-            if self.event_log is not None:
-                self.event_log.append((cycle, "F", uop.seq))
-            self.counters.bump("fetch_uops")
+            if event_log is not None:
+                event_log.append((cycle, "F", uop.seq))
+            fetched += 1
             budget -= 1
             if uop.is_branch:
-                self.counters.bump("bpred_accesses")
+                counters["bpred_accesses"] += 1
                 outcome = self.branch_unit.predict_and_train(uop)
-                self._note_branch_outcome(uop, outcome)
+                if note_branch is not None:
+                    note_branch(uop, outcome)
                 if outcome.mispredicted:
                     self._mispredicted_seqs.add(uop.seq)
                     self.mispredicted_branch_seqs.append(uop.seq)
@@ -469,6 +585,10 @@ class BaselinePipeline:
                     break
                 if uop.taken:
                     break   # taken branches end the fetch group
+        self.fetch_seq = fetch_seq
+        self._last_ifetch_line = last_line
+        if fetched:
+            counters["fetch_uops"] += fetched
 
     def _touch_icache(self, cycle: int, pc: int) -> None:
         line = pc // UOPS_PER_ICACHE_LINE
@@ -478,45 +598,58 @@ class BaselinePipeline:
 
     # ------------------------------------------------------------------ advance
     def _advance(self, cycle: int) -> int:
-        """Advance time; skip idle stretches when provably nothing happens."""
+        """Advance time; skip idle stretches when provably nothing happens.
+
+        The skip *coverage* (which cycles are skipped, and by how much)
+        is part of the simulator's observable behaviour — skipped spans
+        are counted in ``idle_skipped_cycles`` and weighted into the
+        dispatch-stall breakdown, both of which feed
+        ``SimResult.fingerprint()`` — so this body only restructures the
+        computation: the min over wake-up candidates is folded into a
+        running scalar instead of building a list per idle decision, and
+        hot attributes are read once.  The returned cycle for every
+        machine state is identical to the straightforward form.
+        """
         next_cycle = cycle + 1
         if self.ready_q or self._retired_this_cycle:
             return next_cycle
         # Can anything dispatch next cycle?
         frontend_q = self.frontend_q
-        if frontend_q and frontend_q[0][0] <= next_cycle \
-                and self._dispatch_blocked is None:
+        dispatch_blocked = self._dispatch_blocked
+        head_ready = frontend_q[0][0] if frontend_q else -1
+        dispatch_possible = head_ready >= 0 and dispatch_blocked is None
+        if dispatch_possible and head_ready <= next_cycle:
             return next_cycle
         # Can fetch do anything next cycle?
         fetch_possible = (self.fetch_blocked_on is None
                           and self.fetch_seq < len(self.trace)
                           and len(frontend_q) < self.frontend_cap)
-        if fetch_possible and self.fetch_resume_cycle <= next_cycle:
+        fetch_resume = self.fetch_resume_cycle
+        if fetch_possible and fetch_resume <= next_cycle:
             return next_cycle
-        # Idle until the next event.
-        candidates = []
-        if self.events:
-            candidates.append(self.events[0][0])
+        # Idle until the next event (running min; no candidate list).
+        target = -1
+        events = self.events
+        if events:
+            target = events[0][0]
         if self.retry_loads:
             # Rejected loads can only succeed once an MSHR frees (or a
             # same-line fill completes, which is an event above).
-            for expiry in (self.mem.l1d_mshrs.next_expiry,
-                           self.mem.llc_mshrs.next_expiry):
-                if expiry is not None:
-                    candidates.append(expiry)
-        if frontend_q and self._dispatch_blocked is None:
-            candidates.append(frontend_q[0][0])
-        if fetch_possible:
-            candidates.append(self.fetch_resume_cycle)
-        if not candidates:
-            return next_cycle
-        target = min(candidates)
-        if target <= next_cycle:
+            mem = self.mem
+            for expiry in (mem.l1d_mshrs.next_expiry,
+                           mem.llc_mshrs.next_expiry):
+                if expiry is not None and (target < 0 or expiry < target):
+                    target = expiry
+        if dispatch_possible and (target < 0 or head_ready < target):
+            target = head_ready
+        if fetch_possible and (target < 0 or fetch_resume < target):
+            target = fetch_resume
+        if target <= next_cycle:        # includes 'no candidates' (-1)
             return next_cycle
         skipped = target - next_cycle
-        if self._dispatch_blocked is not None:
-            self._account_stall(cycle, self._dispatch_blocked, skipped)
-        self.counters.bump("idle_skipped_cycles", skipped)
+        if dispatch_blocked is not None:
+            self._account_stall(cycle, dispatch_blocked, skipped)
+        self.counters["idle_skipped_cycles"] += skipped
         return target
 
     # ------------------------------------------------------------------ results

@@ -51,6 +51,36 @@ __all__ += [
     "run_jobs",
 ]
 
+from .tracestore import (  # noqa: E402
+    TraceStore,
+    get_trace_store,
+    reset_trace_store,
+    trace_salt,
+    trace_store_enabled,
+)
+
+__all__ += [
+    "TraceStore",
+    "get_trace_store",
+    "reset_trace_store",
+    "trace_salt",
+    "trace_store_enabled",
+]
+
+from .perfbench import (  # noqa: E402
+    PERF_SUITE,
+    compare_ratios,
+    compare_timings,
+    run_perfbench,
+)
+
+__all__ += [
+    "PERF_SUITE",
+    "compare_ratios",
+    "compare_timings",
+    "run_perfbench",
+]
+
 from .experiments import (  # noqa: E402
     ablation_critical_branches,
     ablation_partitioning,

@@ -92,7 +92,16 @@ def code_salt() -> str:
 # ---------------------------------------------------------------- job model
 @dataclass
 class Job:
-    """One independent experiment point."""
+    """One independent experiment point.
+
+    A job's identity is fixed at construction: ``__post_init__`` freezes
+    the attached config (:meth:`repro.config.SimConfig.freeze`), which
+    both guards against accidental post-submission mutation and turns on
+    the config's ``fingerprint()``/``canonical_json()`` memoization, so
+    the engine's cache-key path canonicalizes each config's JSON once
+    instead of once per ``cache.get``/``cache.put``.  The key itself is
+    memoized per job for the same reason.
+    """
 
     benchmark: str
     mode: str = "baseline"
@@ -100,6 +109,11 @@ class Job:
     seed: int = DEFAULT_SEED
     config: Optional[SimConfig] = None
     kind: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.config is not None:
+            self.config.freeze()
+        self._key_cache: Optional[str] = None
 
     def identity(self) -> dict:
         """The JSON-able dict that fully determines this job's result."""
@@ -115,10 +129,13 @@ class Job:
         }
 
     def key(self) -> str:
-        """Content-addressed cache key (SHA-256 hex)."""
-        blob = json.dumps(self.identity(), sort_keys=True,
-                          separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        """Content-addressed cache key (SHA-256 hex, memoized)."""
+        if self._key_cache is None:
+            blob = json.dumps(self.identity(), sort_keys=True,
+                              separators=(",", ":"))
+            self._key_cache = \
+                hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return self._key_cache
 
     def describe(self) -> str:
         tag = f"{self.benchmark}/{self.mode} @{self.scale:g}"

@@ -12,8 +12,9 @@ a persistent on-disk result cache. See docs/harness.md.
 
 from __future__ import annotations
 
-import copy
 import math
+import os
+from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..cdf import CDFPipeline
@@ -23,19 +24,56 @@ from ..energy import EnergyModel
 from ..runahead import PREPipeline
 from ..stats import SimResult, mark_critical_chains
 from ..workloads import DEFAULT_SEED, Workload, get_workload
+from .tracestore import get_trace_store, trace_store_enabled
 
 MODES = ("baseline", "cdf", "pre")
 
-_workload_cache: Dict[Tuple[str, float, int], Workload] = {}
+#: Cap on the in-process workload memo (``$REPRO_WORKLOAD_CACHE``).
+#: Long sweeps visit many (name, scale, seed) points; without a bound a
+#: single worker process would keep every dynamic trace alive at once.
+WORKLOAD_CACHE_ENV = "REPRO_WORKLOAD_CACHE"
+DEFAULT_WORKLOAD_CACHE = 8
+
+#: In-process LRU of built workloads, most recently used last.
+_workload_cache: "OrderedDict[Tuple[str, float, int], Workload]" = \
+    OrderedDict()
+
+
+def workload_cache_capacity() -> int:
+    """Entry cap from ``$REPRO_WORKLOAD_CACHE`` (default 8, min 1)."""
+    try:
+        return max(1, int(os.environ.get(
+            WORKLOAD_CACHE_ENV, str(DEFAULT_WORKLOAD_CACHE))))
+    except ValueError:
+        return DEFAULT_WORKLOAD_CACHE
 
 
 def load_workload(name: str, scale: float = 1.0,
                   seed: int = DEFAULT_SEED) -> Workload:
-    """Build (or fetch the cached) workload; its trace is cached too."""
+    """Build (or fetch the cached) workload; its trace is cached too.
+
+    The in-process memo is a small LRU (see ``REPRO_WORKLOAD_CACHE``).
+    Fresh workloads are wired to the persistent compiled-trace store
+    (:mod:`repro.harness.tracestore`) so their dynamic trace is
+    deserialized from disk when available and persisted after the first
+    functional execution — engine worker processes never re-run the
+    functional model for a trace any process has built before.
+    """
     key = (name, scale, seed)
-    if key not in _workload_cache:
-        _workload_cache[key] = get_workload(name, scale=scale, seed=seed)
-    return _workload_cache[key]
+    workload = _workload_cache.get(key)
+    if workload is not None:
+        _workload_cache.move_to_end(key)
+        return workload
+    workload = get_workload(name, scale=scale, seed=seed)
+    if trace_store_enabled():
+        store = get_trace_store()
+        workload.trace_loader = lambda: store.get(name, scale, seed)
+        workload.trace_saver = \
+            lambda trace: store.put(name, scale, seed, trace)
+    _workload_cache[key] = workload
+    while len(_workload_cache) > workload_cache_capacity():
+        _workload_cache.popitem(last=False)
+    return workload
 
 
 def config_for_mode(mode: str, **overrides) -> SimConfig:
@@ -87,8 +125,10 @@ def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
         # Never mutate the caller's config: it may be shared across
         # workloads (sweeps reuse one config object per point) and the
         # per-workload warmup assignment below would silently leak into
-        # subsequent runs.
-        config = copy.deepcopy(config)
+        # subsequent runs.  ``copy()`` round-trips through the dict form
+        # (cheaper than deepcopy) and always yields a mutable config,
+        # even when the caller's was frozen by the engine.
+        config = config.copy()
     config.stats_warmup_uops = workload.warmup_uops()
     pipeline = make_pipeline(mode, trace, config, workload,
                              **pipeline_kwargs)

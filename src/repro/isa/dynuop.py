@@ -22,6 +22,7 @@ class DynUop:
         "seq", "pc", "op", "dst", "srcs", "exec_lat", "exec_class",
         "is_load", "is_store", "is_branch", "is_cond_branch",
         "mem_addr", "taken", "next_pc", "src_deps", "store_dep",
+        "is_mem", "writes_reg",
     )
 
     def __init__(self, seq: int, pc: int, op: int,
@@ -47,14 +48,14 @@ class DynUop:
         self.src_deps = src_deps
         self.store_dep = store_dep
         self.exec_class = exec_class
-
-    @property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def writes_reg(self) -> bool:
-        return self.dst is not None and not self.is_store
+        # Derived flags, precomputed once here instead of recomputed by a
+        # property descriptor on every access: the timing pipelines read
+        # ``writes_reg`` several times per uop (allocation gating, PRF
+        # accounting, retire) on their innermost loops, and a plain slot
+        # load is several times cheaper than a property call.  Safe to
+        # cache because DynUops are immutable after construction.
+        self.is_mem = is_load or is_store
+        self.writes_reg = dst is not None and not is_store
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = ("L" if self.is_load else

@@ -72,6 +72,15 @@ class Program:
         """Return the pc of the basic-block leader containing *pc*."""
         return self._bb_start[pc]
 
+    def bb_start_table(self) -> List[int]:
+        """Per-pc basic-block leader table (shared; do not mutate).
+
+        The CDF/PRE pipelines index this list on their fetch hot paths;
+        handing out the precomputed table avoids rebuilding a
+        program-length list per pipeline instantiation.
+        """
+        return self._bb_start
+
     def basic_block_end(self, start: int) -> int:
         """Return the last pc (inclusive) of the basic block starting at *start*."""
         pc = start

@@ -35,13 +35,35 @@ _FLAG_COND = 8
 _FLAG_TAKEN = 16
 _FLAG_MEM = 32
 
+#: Int-keyed copies of the latency/class tables. ``loads_trace`` runs
+#: once per uop; indexing these avoids an ``Opcode(op)`` enum
+#: construction per uop (unknown opcodes raise KeyError, which the
+#: deserializer's error handler turns into a TraceFormatError).
+_EXEC_LAT_BY_OP = {int(op): EXEC_LATENCY[op] for op in Opcode}
+_EXEC_CLASS_BY_OP = {int(op): EXEC_CLASS[op] for op in Opcode}
+
+#: Precompiled struct readers for the per-uop records.  ``Struct`` objects
+#: skip the per-call format-cache lookup of ``struct.unpack_from``; the
+#: dep-vector formats are precompiled for the common small arities (the
+#: general f-string path remains as fallback).
+_S_HEAD = struct.Struct("<IBBBB")
+_S_U64 = struct.Struct("<Q")
+_S_NEXT = struct.Struct("<IB")
+_S_I64 = struct.Struct("<q")
+_S_DEPS = tuple(struct.Struct(f"<{n}Q") for n in range(1, 9))
+
 
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or version-incompatible."""
 
 
-def save_trace(trace: List[DynUop], path: str) -> None:
-    """Write *trace* to *path* in the binary trace format."""
+def dumps_trace(trace: List[DynUop]) -> bytes:
+    """Serialize *trace* to the binary trace format (in memory).
+
+    ``save_trace`` is ``dumps_trace`` plus a file write; the harness's
+    persistent trace store uses the byte form directly so it can write
+    entries atomically (temp file + ``os.replace``).
+    """
     out = bytearray()
     out += MAGIC
     out += struct.pack("<HQ", VERSION, len(trace))
@@ -63,58 +85,84 @@ def save_trace(trace: List[DynUop], path: str) -> None:
             out += pack("<Q", dep)
         if uop.is_load:
             out += pack("<q", uop.store_dep)
+    return bytes(out)
+
+
+def save_trace(trace: List[DynUop], path: str) -> None:
+    """Write *trace* to *path* in the binary trace format."""
     with open(path, "wb") as handle:
-        handle.write(out)
+        handle.write(dumps_trace(trace))
+
+
+def loads_trace(data: bytes, context: str = "<bytes>") -> List[DynUop]:
+    """Deserialize a trace from its binary byte form.
+
+    *context* names the source in error messages (``load_trace`` passes
+    the file path).
+    """
+    if data[:4] != MAGIC:
+        raise TraceFormatError(f"{context}: not a CDFT trace file")
+    version, count = struct.unpack_from("<HQ", data, 4)
+    if version != VERSION:
+        raise TraceFormatError(
+            f"{context}: trace version {version}, expected {VERSION}")
+    offset = 4 + 10
+    trace: List[DynUop] = []
+    append = trace.append
+    lat_by_op = _EXEC_LAT_BY_OP
+    class_by_op = _EXEC_CLASS_BY_OP
+    dynuop = DynUop
+    head = _S_HEAD.unpack_from
+    u64 = _S_U64.unpack_from
+    nxt = _S_NEXT.unpack_from
+    i64 = _S_I64.unpack_from
+    dep_structs = _S_DEPS
+    try:
+        for seq in range(count):
+            pc, op, flags, dst, n_srcs = head(data, offset)
+            offset += 8
+            srcs = tuple(data[offset:offset + n_srcs])
+            offset += n_srcs
+            mem_addr = None
+            if flags & _FLAG_MEM:
+                (mem_addr,) = u64(data, offset)
+                offset += 8
+            next_pc, n_deps = nxt(data, offset)
+            offset += 5
+            if n_deps:
+                deps = (dep_structs[n_deps - 1].unpack_from(data, offset)
+                        if n_deps <= 8 else
+                        struct.unpack_from(f"<{n_deps}Q", data, offset))
+                offset += 8 * n_deps
+            else:
+                deps = ()
+            is_load = bool(flags & _FLAG_LOAD)
+            store_dep = -1
+            if is_load:
+                (store_dep,) = i64(data, offset)
+                offset += 8
+            append(dynuop(
+                seq=seq, pc=pc, op=op,
+                dst=None if dst == 0xFF else dst, srcs=srcs,
+                exec_lat=lat_by_op[op],
+                is_load=is_load, is_store=bool(flags & _FLAG_STORE),
+                is_branch=bool(flags & _FLAG_BRANCH),
+                is_cond_branch=bool(flags & _FLAG_COND),
+                mem_addr=mem_addr, taken=bool(flags & _FLAG_TAKEN),
+                next_pc=next_pc, src_deps=deps,
+                store_dep=store_dep,
+                exec_class=class_by_op[op]))
+    except (KeyError, struct.error, ValueError) as exc:
+        raise TraceFormatError(f"{context}: truncated or corrupt "
+                               f"at uop {len(trace)}: {exc}") from exc
+    if offset != len(data):
+        raise TraceFormatError(
+            f"{context}: {len(data) - offset} trailing bytes")
+    return trace
 
 
 def load_trace(path: str) -> List[DynUop]:
     """Read a trace written by :func:`save_trace`."""
     with open(path, "rb") as handle:
         data = handle.read()
-    if data[:4] != MAGIC:
-        raise TraceFormatError(f"{path}: not a CDFT trace file")
-    version, count = struct.unpack_from("<HQ", data, 4)
-    if version != VERSION:
-        raise TraceFormatError(
-            f"{path}: trace version {version}, expected {VERSION}")
-    offset = 4 + 10
-    unpack_from = struct.unpack_from
-    trace: List[DynUop] = []
-    try:
-        for seq in range(count):
-            pc, op, flags, dst, n_srcs = unpack_from("<IBBBB", data, offset)
-            offset += 8
-            srcs = tuple(data[offset:offset + n_srcs])
-            offset += n_srcs
-            mem_addr = None
-            if flags & _FLAG_MEM:
-                (mem_addr,) = unpack_from("<Q", data, offset)
-                offset += 8
-            next_pc, n_deps = unpack_from("<IB", data, offset)
-            offset += 5
-            deps = struct.unpack_from(f"<{n_deps}Q", data, offset) \
-                if n_deps else ()
-            offset += 8 * n_deps
-            is_load = bool(flags & _FLAG_LOAD)
-            store_dep = -1
-            if is_load:
-                (store_dep,) = unpack_from("<q", data, offset)
-                offset += 8
-            opcode = Opcode(op)
-            trace.append(DynUop(
-                seq=seq, pc=pc, op=op,
-                dst=None if dst == 0xFF else dst, srcs=srcs,
-                exec_lat=EXEC_LATENCY[opcode],
-                is_load=is_load, is_store=bool(flags & _FLAG_STORE),
-                is_branch=bool(flags & _FLAG_BRANCH),
-                is_cond_branch=bool(flags & _FLAG_COND),
-                mem_addr=mem_addr, taken=bool(flags & _FLAG_TAKEN),
-                next_pc=next_pc, src_deps=tuple(deps),
-                store_dep=store_dep,
-                exec_class=EXEC_CLASS[opcode]))
-    except (struct.error, ValueError) as exc:
-        raise TraceFormatError(f"{path}: truncated or corrupt "
-                               f"at uop {len(trace)}: {exc}") from exc
-    if offset != len(data):
-        raise TraceFormatError(f"{path}: {len(data) - offset} trailing bytes")
-    return trace
+    return loads_trace(data, context=str(path))

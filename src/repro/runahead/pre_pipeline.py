@@ -51,8 +51,7 @@ class PREPipeline(BaselinePipeline):
         self.pre_cfg = config.pre
         cdf = config.cdf   # geometry shared with the CDF infrastructure
         self.program = program
-        self.bb_start = [program.basic_block_start(pc)
-                         for pc in range(len(program))]
+        self.bb_start = program.bb_start_table()
         self.sst = StallingSliceTable()
         self.fill_buffer = FillBuffer(cdf.fill_buffer_entries)
         self.mask_cache = MaskCache(cdf.mask_cache_entries,
@@ -202,7 +201,7 @@ class PREPipeline(BaselinePipeline):
                     self.ra_ptr -= 1
                     self.counters.bump("runahead_stopped_uncached_bb")
                     return
-                self.counters.bump("uop_cache_reads")
+                self.counters["uop_cache_reads"] += 1
             if uop.is_cond_branch and not self._ra_wrongpath:
                 # The engine predicts every branch it crosses; a branch
                 # the predictor gets wrong puts the rest of this interval
@@ -213,7 +212,7 @@ class PREPipeline(BaselinePipeline):
             if not (current_entry.mask >> (uop.pc - bb)) & 1:
                 continue
             self._ra_budget_uops -= 1.0
-            self.counters.bump("runahead_uops")
+            self.counters["runahead_uops"] += 1
             self._runahead_execute(cycle, uop, stall_end)
 
     def _chain_inputs(self, uop: DynUop, cycle: int, stall_end: int):

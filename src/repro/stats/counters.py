@@ -6,12 +6,22 @@ exclude warmup. A plain dict subclass keeps the hot path cheap.
 Every key fed to :meth:`Counters.bump` must be declared in
 :mod:`repro.stats.registry`; undeclared keys fail loudly (or warn once
 under ``REPRO_STRICT=0``) instead of silently fabricating a new counter.
-The hot path pays one set-membership test per bump.
+The hot path pays one set-membership test per bump — against a bound
+``set.__contains__`` captured at definition time (the registry memo is
+only ever mutated in place, so the binding stays valid) — and dict
+subscripting via ``__missing__`` instead of a ``.get`` method call.
+
+Innermost pipeline loops go one step further and use plain
+``counters[key] += n`` subscripts on statically-declared keys: the
+simlint ``STAT001`` rule checks subscripted literal keys against the
+registry exactly like ``bump`` arguments, so the registration contract
+holds without paying any per-event validation at runtime.  See
+docs/performance.md.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict
 
 from .registry import KNOWN_KEYS, validate_key
 
@@ -22,10 +32,12 @@ class Counters(Dict[str, int]):
     def __missing__(self, key: str) -> int:
         return 0
 
-    def bump(self, key: str, amount: int = 1) -> None:
-        if key not in KNOWN_KEYS:
+    def bump(self, key: str, amount: int = 1,
+             _known: Callable[[str], bool] = KNOWN_KEYS.__contains__,
+             ) -> None:
+        if not _known(key):
             validate_key(key)
-        self[key] = self.get(key, 0) + amount
+        self[key] = self[key] + amount
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self)

@@ -47,13 +47,32 @@ class Workload:
     warmup_fraction: float = 0.3
     _trace_cache: Optional[List[DynUop]] = field(
         default=None, repr=False, compare=False)
+    #: Optional hooks installed by the harness's persistent trace store
+    #: (:mod:`repro.harness.tracestore`): ``trace_loader`` may return a
+    #: previously compiled trace (or None), ``trace_saver`` persists a
+    #: freshly built one.  The workload layer stays store-agnostic.
+    trace_loader: Optional[Callable[[], Optional[List[DynUop]]]] = field(
+        default=None, repr=False, compare=False)
+    trace_saver: Optional[Callable[[List[DynUop]], None]] = field(
+        default=None, repr=False, compare=False)
 
     def trace(self) -> List[DynUop]:
-        """Execute functionally; the dynamic trace is cached."""
+        """The dynamic uop trace (functional execution, memoized).
+
+        Resolution order: in-process memo, then the installed
+        ``trace_loader`` (the on-disk compiled-trace store), then
+        functional execution — which is persisted through
+        ``trace_saver`` so the next process deserializes instead.
+        """
         if self._trace_cache is None:
-            self._trace_cache = execute(
-                self.program, self.memory, max_uops=self.max_uops,
-                require_halt=False)
+            trace = self.trace_loader() if self.trace_loader else None
+            if trace is None:
+                trace = execute(
+                    self.program, self.memory, max_uops=self.max_uops,
+                    require_halt=False)
+                if self.trace_saver is not None:
+                    self.trace_saver(trace)
+            self._trace_cache = trace
         return self._trace_cache
 
     def warmup_uops(self) -> int:

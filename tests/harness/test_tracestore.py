@@ -1,0 +1,246 @@
+"""Tests for the persistent compiled-trace store and the perf harness.
+
+The trace store must be *transparent*: simulation results are
+bit-identical whether a trace was just executed functionally,
+deserialized from disk, or rebuilt after corruption — serial or
+parallel.  These tests pin that down, plus the store's failure modes
+(corrupt entries, salt drift, disabled store).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.engine import Engine, Job
+from repro.harness.perfbench import (
+    PERF_SUITE,
+    compare_ratios,
+    compare_timings,
+)
+from repro.harness.runner import load_workload
+from repro.harness.tracestore import (
+    TraceStore,
+    get_trace_store,
+    reset_trace_store,
+    trace_salt,
+    trace_store_enabled,
+)
+from repro.isa import traceio
+
+SMALL = 0.1
+NAMES = ("bzip", "milc")
+MODES = ("baseline", "cdf", "pre")
+
+
+@pytest.fixture(autouse=True)
+def isolated_store(tmp_path, monkeypatch):
+    """Every test gets a private cache dir and fresh in-process caches."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_TRACE_CACHE", raising=False)
+    runner._workload_cache.clear()
+    reset_trace_store()
+    yield
+    runner._workload_cache.clear()
+    reset_trace_store()
+
+
+def fresh_trace(name="bzip", scale=SMALL):
+    runner._workload_cache.clear()
+    return load_workload(name, scale).trace()
+
+
+# ------------------------------------------------------------ round-trip
+def test_dumps_loads_byte_identity():
+    """serialize -> deserialize -> serialize is byte-stable, and the
+    reloaded uops carry identical fields."""
+    trace = fresh_trace()
+    blob = traceio.dumps_trace(trace)
+    reloaded = traceio.loads_trace(blob)
+    assert traceio.dumps_trace(reloaded) == blob
+    assert len(reloaded) == len(trace)
+    for a, b in zip(trace, reloaded):
+        for attr in ("seq", "pc", "op", "dst", "srcs", "exec_lat",
+                     "exec_class", "is_load", "is_store", "is_branch",
+                     "is_cond_branch", "is_mem", "writes_reg", "mem_addr",
+                     "taken", "next_pc", "src_deps", "store_dep"):
+            assert getattr(a, attr) == getattr(b, attr), attr
+
+
+def test_store_put_get_roundtrip(tmp_path):
+    store = TraceStore(tmp_path / "private")
+    trace = fresh_trace()
+    store.put("bzip", SMALL, 42, trace)
+    got = store.get("bzip", SMALL, 42)
+    assert got is not None
+    assert store.hits == 1
+    assert traceio.dumps_trace(got) == traceio.dumps_trace(trace)
+    assert store.get("bzip", SMALL, 43) is None      # different identity
+    assert store.misses == 1
+
+
+def test_load_workload_populates_and_reuses_store():
+    fresh_trace()                                    # functional + put
+    store = get_trace_store()
+    assert len(store.entries()) == 1
+    before = store.hits
+    fresh_trace()                                    # new Workload object
+    assert store.hits == before + 1
+
+
+# ------------------------------------------------------------ corruption
+def test_corrupt_entry_is_dropped_and_regenerated():
+    reference = traceio.dumps_trace(fresh_trace())
+    store = get_trace_store()
+    [entry] = store.entries()
+    entry.write_bytes(entry.read_bytes()[:50])       # truncate
+    trace = fresh_trace()                            # miss -> functional
+    assert traceio.dumps_trace(trace) == reference
+    # The corrupt file was deleted and the regenerated trace persisted.
+    [entry] = store.entries()
+    assert traceio.dumps_trace(
+        traceio.loads_trace(entry.read_bytes())) == reference
+
+
+def test_version_mismatch_is_treated_as_corruption(tmp_path):
+    store = TraceStore(tmp_path / "private")
+    trace = fresh_trace()
+    store.put("bzip", SMALL, 42, trace)
+    [entry] = store.entries()
+    blob = bytearray(entry.read_bytes())
+    blob[4] = 0xEE                                   # bump version field
+    entry.write_bytes(bytes(blob))
+    assert store.get("bzip", SMALL, 42) is None
+    assert store.entries() == []                     # deleted
+
+
+# ------------------------------------------------------------ salt
+def test_salt_change_invalidates_keys(monkeypatch):
+    store = get_trace_store()
+    trace = fresh_trace()
+    assert store.get("bzip", SMALL, 42) is not None
+    monkeypatch.setattr("repro.harness.tracestore.trace_salt",
+                        lambda: "different-salt")
+    assert store.get("bzip", SMALL, 42) is None      # old entry invisible
+    store.put("bzip", SMALL, 42, trace)
+    assert len(store.entries()) == 2                 # new key, old intact
+
+
+def test_salt_is_stable_within_process():
+    assert trace_salt() == trace_salt()
+    assert len(trace_salt()) == 16
+
+
+# ------------------------------------------------------------ disabling
+def test_env_disables_store(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_TRACE_CACHE", "1")
+    assert not trace_store_enabled()
+    runner._workload_cache.clear()
+    workload = load_workload("bzip", SMALL)
+    assert workload.trace_loader is None
+    assert workload.trace_saver is None
+    workload.trace()
+    assert get_trace_store().entries() == []
+
+
+# ------------------------------------------------- zero re-execution
+@pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork",
+    reason="needs fork so workers inherit the monkeypatched stub")
+def test_warm_store_parallel_run_never_reexecutes(monkeypatch):
+    """With a warm trace store, a 2-worker engine run deserializes every
+    trace: the functional model must not run in parent or children."""
+    jobs = [Job(name, mode, scale=SMALL)
+            for name in NAMES for mode in ("baseline", "cdf")]
+    Engine(jobs=1, use_cache=False).run(jobs)        # populate the store
+    runner._workload_cache.clear()
+
+    def boom(*_args, **_kwargs):
+        raise AssertionError("functional execution ran on a warm store")
+
+    monkeypatch.setattr("repro.workloads.base.execute", boom)
+    results = Engine(jobs=2, use_cache=False).run(jobs)
+    assert len(results) == len(jobs)
+
+
+# ------------------------------------------------------- bit identity
+def test_serial_parallel_cold_warm_all_bit_identical():
+    """Fingerprints must not depend on where the trace came from or how
+    the sweep was executed: cold store (functional + compile), warm
+    store (deserialize), store disabled, serial, and 2-worker parallel
+    all agree for every mode."""
+    jobs = [Job(name, mode, scale=SMALL)
+            for name in NAMES for mode in MODES]
+
+    runner._workload_cache.clear()
+    cold = Engine(jobs=1, use_cache=False).run(jobs)
+    assert len(get_trace_store().entries()) == len(NAMES)
+
+    runner._workload_cache.clear()
+    warm_serial = Engine(jobs=1, use_cache=False).run(jobs)
+
+    runner._workload_cache.clear()
+    warm_parallel = Engine(jobs=2, use_cache=False).run(jobs)
+
+    os.environ["REPRO_NO_TRACE_CACHE"] = "1"
+    try:
+        runner._workload_cache.clear()
+        no_store = Engine(jobs=1, use_cache=False).run(jobs)
+    finally:
+        del os.environ["REPRO_NO_TRACE_CACHE"]
+
+    for a, b, c, d in zip(cold, warm_serial, warm_parallel, no_store):
+        assert a.fingerprint() == b.fingerprint() \
+            == c.fingerprint() == d.fingerprint()
+        assert a == b == c == d
+
+
+# ------------------------------------------------------------ LRU memo
+def test_workload_cache_is_lru_bounded(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "2")
+    runner._workload_cache.clear()
+    load_workload("bzip", SMALL)
+    load_workload("milc", SMALL)
+    load_workload("bzip", SMALL)                     # refresh bzip
+    load_workload("lbm", SMALL)                      # evicts milc (LRU)
+    keys = [key[0] for key in runner._workload_cache]
+    assert len(keys) == 2
+    assert "milc" not in keys
+    assert keys == ["bzip", "lbm"]
+
+
+def test_workload_cache_hit_returns_same_object():
+    first = load_workload("bzip", SMALL)
+    assert load_workload("bzip", SMALL) is first
+
+
+# ------------------------------------------------------------ perfbench
+def test_perf_suite_shape_is_pinned():
+    assert len(PERF_SUITE) == 6
+    names = [name for name, _ in PERF_SUITE]
+    assert len(set(names)) == 6                      # distinct workloads
+    assert {mode for _, mode in PERF_SUITE} == set(MODES)
+
+
+def test_compare_timings_flags_only_out_of_band():
+    shape = {"schema": 1, "suite": [["a", "baseline"]], "scale": 0.3}
+    previous = dict(shape, timings={"sweep_warm_s": 1.0})
+    ok = dict(shape, timings={"sweep_warm_s": 1.2})
+    bad = dict(shape, timings={"sweep_warm_s": 1.5})
+    assert compare_timings(ok, previous, tolerance=0.30) == []
+    assert len(compare_timings(bad, previous, tolerance=0.30)) == 1
+    # Incomparable runs (different suite/scale) are never flagged.
+    other = dict(shape, scale=0.1, timings={"sweep_warm_s": 9.0})
+    assert compare_timings(other, previous, tolerance=0.30) == []
+
+
+def test_compare_ratios_enforces_committed_floors():
+    report = {"derived": {"trace_compile_speedup": 2.0}}
+    assert compare_ratios(report, {"trace_compile_speedup": 1.5},
+                          tolerance=0.30) == []
+    assert len(compare_ratios(report, {"trace_compile_speedup": 3.5},
+                              tolerance=0.30)) == 1
+    # Non-numeric and unknown metrics are ignored.
+    assert compare_ratios(report, {"note": "text", "unknown": 9.0},
+                          tolerance=0.30) == []

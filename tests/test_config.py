@@ -96,3 +96,59 @@ def test_configs_are_independent_instances():
     b = SimConfig.baseline()
     a.core.rob_size = 10
     assert b.core.rob_size == 352
+
+
+# ----------------------------------------------------- freeze + memoization
+def test_freeze_blocks_mutation_recursively():
+    from repro.config import FrozenConfigError
+
+    config = SimConfig.with_cdf()
+    assert not config.frozen
+    config.freeze()
+    assert config.frozen
+    assert config.core.frozen                 # nested configs freeze too
+    with pytest.raises(FrozenConfigError):
+        config.verify_level = 1
+    with pytest.raises(FrozenConfigError):
+        config.core.rob_size = 16
+    with pytest.raises(FrozenConfigError):
+        config.cdf.fill_interval_uops = 1
+
+
+def test_frozen_copy_is_mutable_and_equal():
+    config = SimConfig.with_pre().freeze()
+    clone = config.copy()
+    assert not clone.frozen
+    assert clone == config
+    clone.core.rob_size = 64                  # mutating the copy is fine
+    assert config.core.rob_size != 64
+
+
+def test_fingerprint_memo_matches_unfrozen_computation():
+    mutable = SimConfig.with_cdf()
+    frozen = SimConfig.with_cdf().freeze()
+    assert frozen.canonical_json() == mutable.canonical_json()
+    assert frozen.fingerprint() == mutable.fingerprint()
+    # Memoized: repeated calls return the identical string object.
+    assert frozen.canonical_json() is frozen.canonical_json()
+    assert frozen.fingerprint() is frozen.fingerprint()
+    # to_dict round-trips losslessly through the memoized JSON.
+    assert frozen.to_dict() == mutable.to_dict()
+
+
+def test_to_dict_of_frozen_config_returns_fresh_mutable_dict():
+    frozen = SimConfig.baseline().freeze()
+    first = frozen.to_dict()
+    first["core"]["rob_size"] = 1             # caller may scribble on it
+    assert frozen.to_dict()["core"]["rob_size"] == 352
+
+
+def test_engine_job_freezes_config_and_memoizes_key():
+    from repro.harness.engine import Job
+
+    config = SimConfig.with_cdf()
+    job = Job("bzip", "cdf", scale=0.1, config=config)
+    assert config.frozen                      # frozen at Job construction
+    assert job.key() == job.key()
+    other = Job("bzip", "cdf", scale=0.1, config=SimConfig.with_cdf())
+    assert job.key() == other.key()           # equal configs, equal keys
