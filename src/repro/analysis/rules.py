@@ -515,43 +515,53 @@ class ImportLayeringRule(Rule):
     #: repro sub-package -> sub-packages it must NOT import.
     #: (Derived from the dependency DAG in docs/architecture.md; cli and
     #: harness sit at the top and may import anything.)
+    #:
+    #: ``obs`` is deliberately near-leaf: it may lean on the config/
+    #: stats foundations but nothing else, and *no layer below the
+    #: harness may import it* — the obs_level-0 elision contract
+    #: (docs/observability.md) promises the telemetry subsystem is never
+    #: even imported unless a collector is attached, which only the
+    #: harness/cli layer does.
     FORBIDDEN: Dict[str, FrozenSet[str]] = {
         "config": frozenset({
             "isa", "stats", "memory", "frontend", "energy", "workloads",
-            "core", "cdf", "runahead", "verify", "harness", "cli",
+            "core", "cdf", "runahead", "verify", "obs", "harness", "cli",
             "analysis"}),
         "isa": frozenset({
             "config", "stats", "memory", "frontend", "energy",
-            "workloads", "core", "cdf", "runahead", "verify", "harness",
-            "cli", "analysis"}),
+            "workloads", "core", "cdf", "runahead", "verify", "obs",
+            "harness", "cli", "analysis"}),
         "stats": frozenset({
             "memory", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "verify", "harness", "cli", "analysis"}),
+            "runahead", "verify", "obs", "harness", "cli", "analysis"}),
         "memory": frozenset({
             "stats", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "verify", "harness", "cli", "analysis"}),
+            "runahead", "verify", "obs", "harness", "cli", "analysis"}),
         "frontend": frozenset({
             "memory", "energy", "workloads", "core", "cdf", "runahead",
-            "verify", "harness", "cli", "analysis"}),
+            "verify", "obs", "harness", "cli", "analysis"}),
         "energy": frozenset({
             "memory", "frontend", "workloads", "core", "cdf", "runahead",
-            "verify", "harness", "cli", "analysis"}),
+            "verify", "obs", "harness", "cli", "analysis"}),
         "workloads": frozenset({
             "memory", "frontend", "energy", "core", "cdf", "runahead",
-            "verify", "harness", "cli", "analysis"}),
+            "verify", "obs", "harness", "cli", "analysis"}),
+        "obs": frozenset({
+            "memory", "frontend", "energy", "workloads", "core", "cdf",
+            "runahead", "verify", "harness", "cli", "analysis"}),
         "core": frozenset({
-            "workloads", "cdf", "runahead", "verify", "harness", "cli",
-            "analysis"}),
+            "workloads", "cdf", "runahead", "verify", "obs", "harness",
+            "cli", "analysis"}),
         "cdf": frozenset({
-            "workloads", "runahead", "verify", "harness", "cli",
+            "workloads", "runahead", "verify", "obs", "harness", "cli",
             "analysis"}),
         "runahead": frozenset({
-            "workloads", "verify", "harness", "cli", "analysis"}),
+            "workloads", "verify", "obs", "harness", "cli", "analysis"}),
         "verify": frozenset({
-            "workloads", "harness", "cli", "analysis"}),
+            "workloads", "obs", "harness", "cli", "analysis"}),
         "analysis": frozenset({
             "memory", "frontend", "energy", "workloads", "core", "cdf",
-            "runahead", "verify", "harness", "cli"}),
+            "runahead", "verify", "obs", "harness", "cli"}),
     }
 
     def _source_package(self, module: str) -> Optional[str]:

@@ -123,6 +123,20 @@ class CDFPipeline(BaselinePipeline):
     def _mode_name(self) -> str:
         return "cdf"
 
+    def obs_gauges(self, cycle: int):
+        """Baseline gauges plus the CDF-specific time-series the paper's
+        headline claims hinge on: the dynamic partition boundary, the
+        critical-section occupancy, and the fetch-ahead distance (how far
+        the critical stream runs ahead of the in-order fetch pointer)."""
+        gauges = super().obs_gauges(cycle)
+        gauges["rob_crit"] = len(self.rob_crit)
+        gauges["crit_partition"] = self.partitions.rob.critical_size
+        gauges["lq_crit"] = self.lq_crit_used
+        gauges["sq_crit"] = self.sq_crit_used
+        gauges["fetch_ahead"] = max(0, self.crit_seq - self.fetch_seq)
+        gauges["cdf_mode"] = 1 if self.cdf_mode else 0
+        return gauges
+
     # ================================================================ retire
     def _retire(self, cycle: int) -> None:
         budget = self.retire_width

@@ -7,6 +7,8 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim compare astar mcf --scale 0.5
     repro-sim figure fig13 --scale 0.6 --jobs 4
     repro-sim report --scale 0.6 --output report.md
+    repro-sim report --benchmark astar --mode cdf --output astar.md
+    repro-sim trace --benchmark astar --mode cdf --out trace.json
     repro-sim cache stats
     repro-sim perf [--smoke] [--baseline benchmarks/perf_baseline.json]
     repro-sim disasm bzip
@@ -130,13 +132,55 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("benchmark", choices=suite_names())
 
     report = sub.add_parser(
-        "report", help="regenerate the full evaluation as Markdown",
+        "report",
+        help="regenerate the full evaluation as Markdown, or (with "
+             "--benchmark) render a single-run telemetry report",
         parents=[engine_opts])
     report.add_argument("--scale", type=float, default=0.5)
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
     report.add_argument("--only", nargs="*", default=None,
                         help="limit to figure keys (fig13, fig17, ...)")
+    report.add_argument(
+        "--benchmark", choices=suite_names(), default=None,
+        help="render a single-run obs report (sparklines, stall "
+             "anatomy, memory-latency attribution) instead of the "
+             "full evaluation; see docs/observability.md")
+    report.add_argument("--mode", choices=("baseline", "cdf", "pre"),
+                        default="cdf",
+                        help="core for --benchmark (default cdf)")
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    report.add_argument(
+        "--obs-level", type=int, choices=(1, 2), default=2,
+        help="telemetry level for --benchmark (default 2: includes "
+             "per-uop lifecycle events for the fetch-ahead histogram)")
+    report.add_argument(
+        "--no-baseline", action="store_true",
+        help="with --benchmark: skip the baseline comparison run")
+    report.add_argument(
+        "--html", action="store_true",
+        help="with --benchmark: emit a self-contained HTML page")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one benchmark with full telemetry and export a "
+             "Chrome-trace JSON (chrome://tracing / Perfetto); see "
+             "docs/observability.md")
+    trace.add_argument("--benchmark", choices=suite_names(),
+                       required=True)
+    trace.add_argument("--mode", choices=("baseline", "cdf", "pre"),
+                       default="cdf")
+    trace.add_argument("--scale", type=float, default=0.5)
+    trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="output path (default trace.json)")
+    trace.add_argument(
+        "--obs-level", type=int, choices=(1, 2), default=2,
+        help="1: counter tracks only; 2 (default): adds per-uop "
+             "slices and async memory-request slices")
+    trace.add_argument(
+        "--max-uop-slices", type=int, default=None, metavar="N",
+        help="cap on per-uop timeline slices in the export")
 
     cache = sub.add_parser(
         "cache",
@@ -279,14 +323,61 @@ def cmd_report(args) -> int:
     def progress(title):
         print(f"... {title}", file=sys.stderr)
 
-    text = build_report(scale=args.scale, only=args.only,
-                        progress=progress)
+    if args.benchmark:
+        text = _single_run_report(args, progress)
+    else:
+        text = build_report(scale=args.scale, only=args.only,
+                            progress=progress)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _single_run_report(args, progress) -> str:
+    """Render a one-run telemetry report (``report --benchmark X``).
+
+    Runs bypass the engine/result cache: an obs run must actually
+    execute to collect its telemetry payload, and caching obs payloads
+    for ad-hoc report invocations would bloat the result cache.
+    """
+    from .harness import run_benchmark
+    from .obs import render_run_report
+
+    progress(f"{args.benchmark} [{args.mode}] scale={args.scale} "
+             f"obs_level={args.obs_level}")
+    result = run_benchmark(args.benchmark, args.mode, scale=args.scale,
+                           seed=args.seed, obs_level=args.obs_level)
+    baseline = None
+    if args.mode != "baseline" and not args.no_baseline:
+        progress(f"{args.benchmark} [baseline] scale={args.scale} "
+                 "(comparison run)")
+        baseline = run_benchmark(args.benchmark, "baseline",
+                                 scale=args.scale, seed=args.seed)
+    return render_run_report(result, baseline=baseline,
+                             fmt="html" if args.html else "md")
+
+
+def cmd_trace(args) -> int:
+    from .harness import run_benchmark
+    from .obs import write_chrome_trace
+
+    print(f"... {args.benchmark} [{args.mode}] scale={args.scale} "
+          f"obs_level={args.obs_level}", file=sys.stderr)
+    result = run_benchmark(args.benchmark, args.mode, scale=args.scale,
+                           seed=args.seed, obs_level=args.obs_level)
+    kwargs = {}
+    if args.max_uop_slices is not None:
+        kwargs["max_uop_slices"] = args.max_uop_slices
+    trace = write_chrome_trace(
+        result.obs, args.out,
+        label=f"{args.benchmark}/{args.mode}", **kwargs)
+    print(f"{len(trace['traceEvents'])} trace events written to "
+          f"{args.out} (open in chrome://tracing or "
+          f"https://ui.perfetto.dev)")
     return 0
 
 
@@ -457,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "disasm": cmd_disasm,
         "report": cmd_report,
+        "trace": cmd_trace,
         "cache": cmd_cache,
         "perf": cmd_perf,
         "verify": cmd_verify,

@@ -334,6 +334,16 @@ class SimConfig(_Freezable):
     # occupancy sweeps and periodic structural scans, 3 = level 2 with
     # the structural scan every cycle.
     verify_level: int = 0
+    # Observability (see docs/observability.md), mirroring the
+    # verify_level contract: 0 = off (the default; bit-identical results,
+    # the obs subsystem is never imported and every hook site costs one
+    # comparison), 1 = sampled counter time-series + structure-occupancy
+    # gauges every ``obs_sample_interval`` cycles, 2 = level 1 plus full
+    # per-uop lifecycle events and per-request memory latency
+    # attribution.
+    obs_level: int = 0
+    # Cycles between occupancy-gauge samples at obs_level >= 1.
+    obs_sample_interval: int = 128
 
     @staticmethod
     def baseline(**overrides: typing.Any) -> "SimConfig":

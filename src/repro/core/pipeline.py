@@ -96,6 +96,11 @@ class BaselinePipeline:
         #: :meth:`attach_verifier`; when None (verify_level 0) every hook
         #: site costs one attribute comparison and nothing else.
         self.verifier = None
+        #: Optional :class:`repro.obs.ObsCollector`. Attach through
+        #: :meth:`attach_observer`; when None (obs_level 0, the default)
+        #: the run loop pays one comparison per cycle and nothing else —
+        #: the same elision contract as the verifier.
+        self.observer = None
 
         # Frontend state.
         self.fetch_seq = 0
@@ -154,12 +159,42 @@ class BaselinePipeline:
         self.verifier = verifier.bind(self)
         return verifier
 
+    def attach_observer(self, collector):
+        """Bind *collector* (a :class:`repro.obs.ObsCollector`) to this
+        pipeline and enable the telemetry hooks; returns it."""
+        self.observer = collector.bind(self)
+        return collector
+
+    def obs_gauges(self, cycle: int) -> Dict[str, int]:
+        """Structure-occupancy gauges for one obs sample.
+
+        Subclasses extend the dict with their mode-specific structures
+        (the CDF partition boundary, PRE's runahead state).  Key order
+        does not matter — the collector fixes a sorted column schema at
+        the first sample — but the key *set* must be stable across one
+        run.
+        """
+        mem = self.mem
+        return {
+            "cycle": cycle,
+            "retired": self.retired,
+            "rob": len(self.rob),
+            "rs": self.rs_used,
+            "lq": self.lq_used,
+            "sq": self.sq_used,
+            "frontend": len(self.frontend_q),
+            "l1d_mshr": len(mem.l1d_mshrs),
+            "llc_mshr": len(mem.llc_mshrs),
+            "dram_reads": mem.dram.total_reads,
+        }
+
     # ------------------------------------------------------------------ run
     def run(self) -> SimResult:
         total = len(self.trace)
         warmup = self.config.stats_warmup_uops
         warm_snap = None
         verifier = self.verifier
+        observer = self.observer
         max_cycles = self.config.max_cycles
         # Bind the stage methods once: the cycle loop is the hottest loop
         # in the repository and the per-cycle attribute lookups add up.
@@ -184,12 +219,16 @@ class BaselinePipeline:
             fetch(cycle)
             if verifier is not None:
                 verifier.on_cycle_end(cycle)
+            if observer is not None:
+                observer.on_cycle_end(cycle)
             if warm_snap is None and warmup and self.retired >= warmup:
                 warm_snap = self._snapshot(cycle)
             cycle = advance(cycle)
         self.cycle = cycle
         if verifier is not None:
             verifier.on_run_end()
+        if observer is not None:
+            observer.on_run_end(cycle)
         return self._build_result(cycle, warm_snap)
 
     # ------------------------------------------------------------------ stages

@@ -26,13 +26,21 @@ real ``$REPRO_CACHE_DIR``:
     Best-of-reps full sweep with the store populated (deserialize +
     simulate).  This is the headline number: it is what an experiment
     sweep costs once traces are compiled.
+``sweep_obs_s``
+    Best-of-reps warm sweep with ``obs_level=1`` telemetry attached —
+    the same work as ``sweep_warm_s`` plus gauge sampling and
+    memory-latency attribution.  Guards the obs subsystem's
+    "low-overhead" contract (docs/observability.md): the hooks are a
+    single ``is not None`` test per site at level 0, and even level 1
+    must stay cheap.
 
 Absolute seconds are machine-dependent, so cross-machine comparisons
 (CI) use the *derived ratios* — ``trace_compile_speedup``
-(functional/trace-load) and ``cold_over_warm`` — which track the
-architecture of the code rather than the speed of the host.  Same-machine
-comparisons (a developer re-running ``repro-sim perf``) use the raw
-timings with a noise tolerance band.
+(functional/trace-load), ``cold_over_warm``, and ``warm_over_obs``
+(warm/obs-instrumented; ~1.0, drops when telemetry gets expensive) —
+which track the architecture of the code rather than the speed of the
+host.  Same-machine comparisons (a developer re-running
+``repro-sim perf``) use the raw timings with a noise tolerance band.
 
 This module is on simlint's DET003 wall-clock allowlist: measuring time
 is its purpose; simulation results never depend on it.
@@ -52,7 +60,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .engine import Engine, Job
 
 #: Stable report schema version (bump on any shape change).
-SCHEMA_VERSION = 1
+#: v2: added the obs-overhead column (``sweep_obs_s`` / ``warm_over_obs``).
+SCHEMA_VERSION = 2
 
 #: Default report filename, written to the current directory (the repo
 #: root in CI and in the documented workflow).
@@ -139,6 +148,15 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
 
         note(f"warm sweep x{reps} (deserialize + simulate)")
         sweep_warm_s = min(_sweep_once(jobs) for _ in range(reps))
+
+        # Same warm sweep with level-1 telemetry attached: the obs
+        # overhead column (docs/observability.md).
+        from .runner import config_for_mode
+        obs_jobs = [Job(name, mode, scale=scale,
+                        config=config_for_mode(mode, obs_level=1))
+                    for name, mode in PERF_SUITE]
+        note(f"warm sweep x{reps} (obs_level=1 telemetry)")
+        sweep_obs_s = min(_sweep_once(obs_jobs) for _ in range(reps))
     finally:
         if saved_cache_dir is None:
             os.environ.pop("REPRO_CACHE_DIR", None)
@@ -162,12 +180,15 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
             "trace_load_s": round(trace_load_s, 4),
             "sweep_cold_s": round(sweep_cold_s, 4),
             "sweep_warm_s": round(sweep_warm_s, 4),
+            "sweep_obs_s": round(sweep_obs_s, 4),
         },
         "derived": {
             "trace_compile_speedup": round(
                 functional_s / trace_load_s, 3) if trace_load_s else 0.0,
             "cold_over_warm": round(
                 sweep_cold_s / sweep_warm_s, 3) if sweep_warm_s else 0.0,
+            "warm_over_obs": round(
+                sweep_warm_s / sweep_obs_s, 3) if sweep_obs_s else 0.0,
         },
         "env": {
             "python": platform.python_version(),

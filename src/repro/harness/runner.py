@@ -108,15 +108,30 @@ def make_pipeline(mode: str, trace, config: SimConfig, workload: Workload,
         pipeline.attach_verifier(PipelineVerifier(
             level=config.verify_level, oracle=oracle,
             context=workload.name))
+    if config.obs_level > 0:
+        # Same lazy-import contract as verification: at obs_level 0 the
+        # telemetry subsystem is never imported and results stay
+        # bit-identical (pinned by tests/memory/test_hierarchy_
+        # fingerprints.py and the trace-smoke CI job).
+        from ..obs import ObsCollector
+        pipeline.attach_observer(ObsCollector(
+            level=config.obs_level,
+            sample_interval=config.obs_sample_interval))
     return pipeline
 
 
 def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
                   seed: int = DEFAULT_SEED,
                   config: Optional[SimConfig] = None,
+                  obs_level: Optional[int] = None,
                   **pipeline_kwargs) -> SimResult:
     """Run one benchmark under one mode; returns the SimResult with the
-    energy model applied."""
+    energy model applied.
+
+    ``obs_level`` (when not None) overrides ``config.obs_level``; at
+    level >= 1 the returned result carries the telemetry payload on
+    ``result.obs`` (see docs/observability.md).
+    """
     workload = load_workload(name, scale, seed)
     trace = workload.trace()
     if config is None:
@@ -130,9 +145,13 @@ def run_benchmark(name: str, mode: str = "baseline", scale: float = 1.0,
         # even when the caller's was frozen by the engine.
         config = config.copy()
     config.stats_warmup_uops = workload.warmup_uops()
+    if obs_level is not None:
+        config.obs_level = obs_level
     pipeline = make_pipeline(mode, trace, config, workload,
                              **pipeline_kwargs)
     result = pipeline.run()
+    if pipeline.observer is not None:
+        result.obs = pipeline.observer.payload()
     EnergyModel(config).compute(result)
     return result
 

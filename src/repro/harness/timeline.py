@@ -1,46 +1,69 @@
-"""ASCII pipeline-timeline rendering.
+"""ASCII pipeline-timeline rendering on the obs event schema.
 
-Turn a pipeline's optional ``event_log`` into a per-uop waterfall diagram
-(one row per dynamic uop, one column per cycle) — the clearest way to
-*see* Criticality Driven Fetch working: critical uops ('f'/'d') jump far
-ahead of the non-critical stream and their loads issue long before their
+Turn a per-uop lifecycle event stream into a waterfall diagram (one row
+per dynamic uop, one column per cycle) — the clearest way to *see*
+Criticality Driven Fetch working: critical uops ('f'/'d') jump far ahead
+of the non-critical stream and their loads issue long before their
 program-order neighbours.
 
-Event characters: F fetch, D dispatch/rename, I issue, C complete,
-R retire; CDF adds f (critical fetch), d (critical rename) and
-p (rename replay). Between issue and completion the row is filled with
-'=' (execution in flight).
+The event schema is :mod:`repro.obs.events` — ``(cycle, kind, seq)``
+tuples with kinds from :data:`repro.obs.EVENT_KINDS` — which is exactly
+what the pipelines' ``event_log`` emits and what
+:class:`repro.obs.ObsCollector` records at obs_level 2, so the renderer
+accepts either a raw event list (``pipeline.event_log``) or a collected
+obs payload (``result.obs``); the Chrome-trace exporter and the run
+report consume the same stream.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+#: Backwards-compatible alias for the shared schema's event tuple
+#: (:data:`repro.obs.events.UopEvent`).  The schema module itself is
+#: imported lazily inside the functions below: ``repro.harness`` pulls
+#: this module in at import time, and the obs_level-0 contract
+#: (docs/observability.md) promises ``repro.obs`` is never imported
+#: unless telemetry is actually consumed.
 Event = Tuple[int, str, int]
 
 
-def collect_events(event_log: Iterable[Event], first_seq: int,
-                   last_seq: int):
-    """Group events by seq within [first_seq, last_seq]."""
-    per_seq = {}
-    for cycle, kind, seq in event_log:
-        if first_seq <= seq <= last_seq:
-            per_seq.setdefault(seq, []).append((cycle, kind))
-    return per_seq
+def _as_event_list(events: Union[Sequence[Event], dict, None]
+                   ) -> Sequence[Event]:
+    """Accept a raw event_log list or an ``SimResult.obs`` payload."""
+    if events is None:
+        return []
+    if isinstance(events, dict):
+        return events.get("uop_events", [])
+    return events
 
 
-def render_timeline(event_log: Sequence[Event], trace,
+def collect_events(event_log, first_seq: int, last_seq: int):
+    """Group events by seq within [first_seq, last_seq].
+
+    Thin wrapper over :func:`repro.obs.events.group_uop_events` kept for
+    the established harness API; also accepts an obs payload dict.
+    """
+    from ..obs.events import group_uop_events
+    return group_uop_events(_as_event_list(event_log), first_seq,
+                            last_seq)
+
+
+def render_timeline(event_log, trace,
                     first_seq: int, last_seq: int,
                     max_width: int = 110,
                     describe=None) -> str:
     """Render a waterfall for uops [first_seq, last_seq].
 
-    ``describe(uop) -> str`` customises the row label (defaults to a
-    short disassembly-ish tag).
+    ``event_log`` is a lifecycle event stream: a pipeline's
+    ``event_log`` list or a collected ``result.obs`` payload (obs_level
+    2).  ``describe(uop) -> str`` customises the row label (defaults to
+    a short disassembly-ish tag).
     """
     per_seq = collect_events(event_log, first_seq, last_seq)
     if not per_seq:
-        return "(no events in range - did you set pipeline.event_log?)"
+        return ("(no events in range - did you set pipeline.event_log "
+                "or run with obs_level=2?)")
     start_cycle = min(cycle for events in per_seq.values()
                       for cycle, _ in events)
     end_cycle = max(cycle for events in per_seq.values()

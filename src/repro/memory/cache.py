@@ -138,14 +138,25 @@ class Cache:
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop *line_addr* if present; return whether it was found."""
+        return self.snoop_invalidate(line_addr) is not None
+
+    def snoop_invalidate(self, line_addr: int) -> Optional[bool]:
+        """Back-invalidate *line_addr* (inclusive-hierarchy snoop).
+
+        Returns ``None`` when the line was not present, otherwise the
+        line's dirty bit at the moment it was dropped — the caller owns
+        the writeback decision (a dirty inner copy is newer than the
+        outer level's and must not be silently discarded).
+        """
         _, _, line = self._find(line_addr)
         if line is None:
-            return False
+            return None
+        was_dirty = line.dirty
         line.valid = False
         line.tag = -1
         line.dirty = False
         line.prefetched = False
-        return True
+        return was_dirty
 
     @property
     def miss_rate(self) -> float:

@@ -7,7 +7,21 @@ the pipeline must retry (this bounds MLP, as in hardware).
 
 Fill state is updated at request time ("instant tags") while latency is
 carried by the returned completion cycle and MSHR entries — the standard
-simplification at this abstraction level.
+simplification at this abstraction level.  The corollary, enforced
+everywhere below: **a tag hit must never be trusted while the line's fill
+is still outstanding in the MSHRs.**  Instant tags say *where the line
+will be*, the MSHR entry says *when it actually arrives*; consulting the
+tags alone lets an in-flight prefetch (or an in-flight demand miss whose
+L1 copy was evicted) satisfy a demand access at cache latency and hide
+the entire DRAM round trip — the exact timing bug this module used to
+have.  See docs/performance.md ("memory-timing semantics").
+
+Observability: when :attr:`MemoryHierarchy.obs` is set (an
+:class:`repro.obs.ObsCollector` bound at obs_level >= 1), every demand /
+prefetch / runahead / ifetch request reports its issue cycle, completion
+cycle, serviced level, and merge status for request-level latency
+attribution.  At obs_level 0 the attribute stays ``None`` and every hook
+site costs one comparison.
 """
 
 from __future__ import annotations
@@ -50,6 +64,10 @@ class MemoryHierarchy:
                               config.l1d.line_bytes)
         self.prefetcher = StreamPrefetcher(config.prefetcher)
         self.mlp_tracker = mlp_tracker
+        #: Optional :class:`repro.obs.ObsCollector`; set by the collector
+        #: when it binds to a pipeline at obs_level >= 1.  ``None`` (the
+        #: default) keeps every request path at one extra comparison.
+        self.obs = None
         # Stats
         self.demand_loads = 0
         self.store_commits = 0
@@ -83,50 +101,82 @@ class MemoryHierarchy:
             completion = self.l1d_mshrs.merge(line)
             level = self.l1d_mshrs.payload(line) or "llc"
             self._train_prefetcher(cycle, line, was_miss=True)
-            return AccessResult(max(completion, cycle + self.l1d.latency),
-                                level, merged=True)
+            completion = max(completion, cycle + self.l1d.latency)
+            if self.obs is not None:
+                self.obs.on_mem_request(cycle, completion, line, level,
+                                        source, merged=True)
+            return AccessResult(completion, level, merged=True)
 
         if self.l1d.lookup(line):
             if self.l1d.last_hit_prefetched:
                 self.prefetcher.on_useful_prefetch()
             self._train_prefetcher(cycle, line, was_miss=False)
-            return AccessResult(cycle + self.l1d.latency, "l1")
+            completion = cycle + self.l1d.latency
+            if self.obs is not None:
+                self.obs.on_mem_request(cycle, completion, line, "l1",
+                                        source, merged=False)
+            return AccessResult(completion, "l1")
 
         if not self.l1d_mshrs.can_allocate():
             self.l1d_mshrs.full_rejections += 1
             return None
 
         llc_probe_cycle = cycle + self.l1d.latency
+
+        # The LLC MSHRs are consulted *before* the LLC tag store: instant
+        # tags install the line at issue time (for both demand misses and
+        # prefetches), so while the fill is outstanding the tags claim a
+        # hit the data cannot back yet.  Trusting that hit let an
+        # in-flight prefetch satisfy a demand load at LLC latency —
+        # hiding the entire DRAM round trip.  Merge with the outstanding
+        # fill's completion instead.
+        outstanding_llc = self.llc_mshrs.lookup(line)
+        if outstanding_llc is not None:
+            # Probe the tags anyway for LRU/stats/prefetch feedback: a
+            # demand merge behind an in-flight prefetch is the prefetch
+            # proving useful (credited once; the probe clears the bit).
+            if self.llc.lookup(line) and self.llc.last_hit_prefetched:
+                self.prefetcher.on_useful_prefetch()
+            completion = max(self.llc_mshrs.merge(line),
+                             llc_probe_cycle + self.llc.latency)
+            self._fill_llc(cycle, line)   # restore tags if evicted mid-flight
+            self._fill_l1(cycle, line)
+            self.l1d_mshrs.allocate(line, completion, payload="dram")
+            self._train_prefetcher(cycle, line, was_miss=True)
+            if self.obs is not None:
+                self.obs.on_mem_request(cycle, completion, line, "dram",
+                                        source, merged=True)
+            return AccessResult(completion, "dram", merged=True)
+
         if self.llc.lookup(line):
             if self.llc.last_hit_prefetched:
                 self.prefetcher.on_useful_prefetch()
             completion = llc_probe_cycle + self.llc.latency
-            self._fill_l1(line)
+            self._fill_l1(cycle, line)
             self.l1d_mshrs.allocate(line, completion, payload="llc")
             self._train_prefetcher(cycle, line, was_miss=True)
+            if self.obs is not None:
+                self.obs.on_mem_request(cycle, completion, line, "llc",
+                                        source, merged=False)
             return AccessResult(completion, "llc")
 
-        # LLC miss -> DRAM (or merge behind an outstanding LLC miss).
-        merged = False
-        outstanding_llc = self.llc_mshrs.lookup(line)
-        if outstanding_llc is not None:
-            completion = self.llc_mshrs.merge(line)
-            completion = max(completion, llc_probe_cycle + self.llc.latency)
-            merged = True
-        else:
-            if not self.llc_mshrs.can_allocate():
-                self.llc_mshrs.full_rejections += 1
-                return None
-            issue = llc_probe_cycle + self.llc.latency
-            completion = self.dram.access(issue, line, source=source)
-            self.llc_mshrs.allocate(line, completion)
-            if track_mlp and self.mlp_tracker is not None:
-                self.mlp_tracker.record(issue, completion, source)
-        self._fill_llc(line)
-        self._fill_l1(line)
+        # LLC miss -> DRAM.
+        if not self.llc_mshrs.can_allocate():
+            self.llc_mshrs.full_rejections += 1
+            return None
+        issue = llc_probe_cycle + self.llc.latency
+        completion = self.dram.access(issue, line, source=source)
+        self.llc_mshrs.allocate(line, completion, payload=source)
+        if track_mlp and self.mlp_tracker is not None:
+            self.mlp_tracker.record(issue, completion, source)
+        self._fill_llc(cycle, line)
+        self._fill_l1(cycle, line)
         self.l1d_mshrs.allocate(line, completion, payload="dram")
         self._train_prefetcher(cycle, line, was_miss=True)
-        return AccessResult(completion, "dram", merged=merged)
+        if self.obs is not None:
+            self.obs.on_mem_request(cycle, completion, line, "dram",
+                                    source, merged=False)
+        return AccessResult(completion, "dram", merged=False)
 
     # ------------------------------------------------------------------ stores
     def store_commit(self, cycle: int, addr: int) -> None:
@@ -136,25 +186,52 @@ class MemoryHierarchy:
         if self.l1d.lookup(line):
             self.l1d.mark_dirty(line)
             return
-        # Read-for-ownership fetch; latency is absorbed by the store queue.
+        # Read-for-ownership fetch; latency is absorbed by the store
+        # queue.  A line whose fill is already outstanding in the LLC
+        # MSHRs needs no second DRAM trip (the fill brings the data).
         if not self.llc.lookup(line):
-            self.dram.access(cycle, line, source="demand")
-            self._fill_llc(line)
-        self._fill_l1(line, dirty=True)
+            self.llc_mshrs.expire(cycle)
+            if self.llc_mshrs.lookup(line) is None:
+                self.dram.access(cycle, line, source="demand")
+            self._fill_llc(cycle, line)
+        self._fill_l1(cycle, line, dirty=True)
 
     # ------------------------------------------------------------------ ifetch
     def ifetch(self, cycle: int, pc_line: int) -> int:
         """Instruction fetch for one I-cache line; returns completion cycle."""
         if self.l1i.lookup(pc_line):
             return cycle + self.l1i.latency
-        if self.llc.lookup(pc_line):
-            completion = cycle + self.l1i.latency + self.llc.latency
+        self.llc_mshrs.expire(cycle)
+        probe = cycle + self.l1i.latency
+        merged = False
+        # Same merge discipline as data loads: an outstanding LLC fill
+        # (demand or prefetch) must service a same-line I-fetch miss —
+        # previously each back-to-back I-fetch miss paid a full DRAM
+        # round trip *and* issued duplicate DRAM traffic.
+        outstanding = self.llc_mshrs.lookup(pc_line)
+        if outstanding is not None:
+            if self.llc.lookup(pc_line) and self.llc.last_hit_prefetched:
+                self.prefetcher.on_useful_prefetch()
+            completion = max(self.llc_mshrs.merge(pc_line),
+                             probe + self.llc.latency)
+            self._fill_llc(cycle, pc_line)
+            level = "dram"
+            merged = True
+        elif self.llc.lookup(pc_line):
+            completion = probe + self.llc.latency
+            level = "llc"
         else:
-            completion = self.dram.access(
-                cycle + self.l1i.latency + self.llc.latency, pc_line,
-                source="demand")
-            self._fill_llc(pc_line)
+            issue = probe + self.llc.latency
+            completion = self.dram.access(issue, pc_line, source="demand")
+            if self.llc_mshrs.can_allocate():
+                self.llc_mshrs.allocate(pc_line, completion,
+                                        payload="demand")
+            self._fill_llc(cycle, pc_line)
+            level = "dram"
         self.l1i.fill(pc_line)
+        if self.obs is not None:
+            self.obs.on_mem_request(cycle, completion, pc_line, level,
+                                    "ifetch", merged=merged)
         return completion
 
     # ------------------------------------------------------------------ prefetch
@@ -169,29 +246,44 @@ class MemoryHierarchy:
             return
         completion = self.dram.access(cycle, line, source="prefetch",
                                       low_priority=True)
-        self.llc_mshrs.allocate(line, completion)
-        self.llc.fill(line, prefetched=True)
+        # Instant tags + an MSHR entry carrying the real arrival time:
+        # demand accesses that find the tag while this entry is live
+        # merge with ``completion`` instead of pretending the data
+        # already landed.
+        self.llc_mshrs.allocate(line, completion, payload="prefetch")
+        self._fill_llc(cycle, line, prefetched=True)
         self.prefetches_issued += 1
+        if self.obs is not None:
+            self.obs.on_mem_request(cycle, completion, line, "dram",
+                                    "prefetch", merged=False)
 
     # ------------------------------------------------------------------ fills
-    def _fill_l1(self, line: int, dirty: bool = False) -> None:
+    def _fill_l1(self, cycle: int, line: int, dirty: bool = False) -> None:
         evicted = self.l1d.fill(line, dirty=dirty)
         if evicted is not None:
             victim_line, was_dirty = evicted
             if was_dirty:
-                # Write back into the (inclusive) LLC.
+                # Write back into the (inclusive) LLC; routed through
+                # _fill_llc so a conflict eviction there follows the
+                # same back-invalidate + writeback discipline.
                 if not self.llc.mark_dirty(victim_line):
-                    self.llc.fill(victim_line, dirty=True)
+                    self._fill_llc(cycle, victim_line, dirty=True)
 
-    def _fill_llc(self, line: int) -> None:
-        evicted = self.llc.fill(line)
+    def _fill_llc(self, cycle: int, line: int, dirty: bool = False,
+                  prefetched: bool = False) -> None:
+        evicted = self.llc.fill(line, dirty=dirty, prefetched=prefetched)
         if evicted is not None:
             victim_line, was_dirty = evicted
-            # Inclusive hierarchy: back-invalidate L1.
-            self.l1d.invalidate(victim_line)
+            # Inclusive hierarchy: back-invalidate L1.  A dirty L1D copy
+            # is newer than the LLC's — it must be written back, not
+            # dropped (the old code silently lost it).
+            l1d_dirty = self.l1d.snoop_invalidate(victim_line)
             self.l1i.invalidate(victim_line)
-            if was_dirty:
-                self.dram.access(0, victim_line, source="writeback",
+            if was_dirty or l1d_dirty:
+                # Writeback at the *current* cycle: issuing it at cycle 0
+                # perturbed DRAM bank/bus state from the beginning of
+                # time regardless of when the eviction happened.
+                self.dram.access(cycle, victim_line, source="writeback",
                                  is_write=True)
 
     def reset_stats(self) -> None:

@@ -1,0 +1,97 @@
+"""The single event schema shared by every obs consumer.
+
+Two event families flow out of a simulation:
+
+* **Uop lifecycle events** — ``(cycle, kind, seq)`` tuples, the exact
+  schema the pipelines' ``event_log`` has always used (the ASCII
+  timeline, the Chrome-trace exporter, and the run report all consume
+  the same stream now).  ``kind`` is a single character from
+  :data:`EVENT_KINDS`.
+* **Memory request events** — :class:`MemEvent` records with issue and
+  completion cycles, the line address, the level that serviced the
+  request, the traffic source, and whether the request merged with an
+  in-flight miss.  These come from the
+  :meth:`repro.memory.MemoryHierarchy` request paths and become async
+  slices in the Chrome trace and the latency-attribution table in the
+  run report.
+
+Both families are plain tuples so they serialize to JSON losslessly and
+cheaply (``SimResult.obs`` rides through the engine's result cache).
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple)
+
+#: Uop lifecycle event characters -> meaning.  Uppercase is the regular
+#: stream; lowercase marks the CDF critical stream.
+EVENT_KINDS: Dict[str, str] = {
+    "F": "fetch",
+    "D": "dispatch/rename",
+    "I": "issue",
+    "C": "complete",
+    "R": "retire",
+    "f": "critical fetch (CDF uop cache)",
+    "d": "critical rename (CDF)",
+    "p": "rename replay (CDF re-sync)",
+}
+
+#: One uop lifecycle event: (cycle, kind, seq).
+UopEvent = Tuple[int, str, int]
+
+
+class MemEvent(NamedTuple):
+    """One memory request, from issue to data arrival."""
+
+    issue: int          # cycle the request entered the hierarchy
+    completion: int     # cycle the data arrives
+    line: int           # 64B line address
+    level: str          # 'l1' | 'llc' | 'dram'
+    source: str         # 'demand' | 'prefetch' | 'runahead' | 'ifetch'
+    merged: bool        # satisfied by an in-flight miss (MSHR merge)
+
+    @property
+    def latency(self) -> int:
+        return self.completion - self.issue
+
+
+def group_uop_events(events: Iterable[UopEvent], first_seq: int,
+                     last_seq: int) -> Dict[int, List[Tuple[int, str]]]:
+    """Group lifecycle events by seq within ``[first_seq, last_seq]``.
+
+    This is the grouping primitive the ASCII timeline and the
+    Chrome-trace uop track share.
+    """
+    per_seq: Dict[int, List[Tuple[int, str]]] = {}
+    for cycle, kind, seq in events:
+        if first_seq <= seq <= last_seq:
+            per_seq.setdefault(seq, []).append((cycle, kind))
+    return per_seq
+
+
+def uop_lifetimes(events: Iterable[UopEvent],
+                  first_seq: int = 0,
+                  last_seq: Optional[int] = None,
+                  ) -> Dict[int, Dict[str, int]]:
+    """Collapse lifecycle events into per-uop stage timestamps.
+
+    Returns ``{seq: {"F": cycle, "D": cycle, ...}}`` keeping the first
+    occurrence of each kind (a replayed uop keeps its original fetch).
+    """
+    if last_seq is None:
+        last_seq = 1 << 62
+    lifetimes: Dict[int, Dict[str, int]] = {}
+    for cycle, kind, seq in events:
+        if not first_seq <= seq <= last_seq:
+            continue
+        stages = lifetimes.setdefault(seq, {})
+        if kind not in stages:
+            stages[kind] = cycle
+    return lifetimes
+
+
+def mem_events_from_rows(rows: Iterable[Sequence]) -> List[MemEvent]:
+    """Rebuild :class:`MemEvent` records from their JSON list form."""
+    return [MemEvent(int(r[0]), int(r[1]), int(r[2]), str(r[3]),
+                     str(r[4]), bool(r[5])) for r in rows]

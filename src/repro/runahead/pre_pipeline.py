@@ -93,6 +93,15 @@ class PREPipeline(BaselinePipeline):
     def _mode_name(self) -> str:
         return "pre"
 
+    def obs_gauges(self, cycle: int):
+        """Baseline gauges plus runahead state (active interval flag and
+        cumulative runahead prefetches) for stall-anatomy traces."""
+        gauges = super().obs_gauges(cycle)
+        gauges["runahead"] = 1 if self.in_runahead else 0
+        gauges["runahead_prefetches"] = \
+            self.counters["runahead_prefetches"]
+        return gauges
+
     def _note_branch_outcome(self, uop: DynUop, outcome) -> None:
         if not uop.is_cond_branch:
             return

@@ -127,6 +127,10 @@ COUNTERS: Dict[str, str] = {
     "verify_cycle_checks": "per-cycle occupancy sweeps (level >= 2)",
     "verify_structural_scans": "full structural ROB/LSQ/RS scans",
     "verify_cache_scans": "cache tag-store sanity scans",
+    # ------------------------------------------------ observability
+    "obs_samples": "occupancy-gauge samples taken (obs_level >= 1)",
+    "obs_mem_events": "memory-request events recorded (obs_level >= 2)",
+    "obs_uop_events": "uop lifecycle events recorded (obs_level >= 2)",
 }
 
 #: Dynamic counter families: ``{}``-template (what the static checker

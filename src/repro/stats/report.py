@@ -29,6 +29,14 @@ class SimResult:
     full_window_stall_cycles: int
     energy_nj: float = 0.0
     counters: Counters = field(default_factory=Counters)
+    #: Observability payload (see docs/observability.md): the telemetry
+    #: collected by :class:`repro.obs.ObsCollector` at ``obs_level >= 1``
+    #: — sampled gauge time-series, memory-latency aggregates, and (at
+    #: level 2) per-uop lifecycle / per-request event streams.  ``None``
+    #: at obs_level 0, and then *omitted* from :meth:`to_dict`, so
+    #: level-0 serialized results and fingerprints are byte-identical to
+    #: builds without the obs subsystem.
+    obs: Optional[dict] = None
 
     @property
     def ipc(self) -> float:
@@ -67,8 +75,13 @@ class SimResult:
 
     # ---------------------------------------------------- JSON round-trip
     def to_dict(self) -> dict:
-        """Plain-dict form suitable for ``json.dumps``."""
-        return {
+        """Plain-dict form suitable for ``json.dumps``.
+
+        The ``obs`` key is present only when an obs payload was
+        collected, keeping obs_level-0 serializations (and therefore
+        :meth:`fingerprint`) identical to pre-obs builds.
+        """
+        data = {
             "benchmark": self.benchmark,
             "mode": self.mode,
             "cycles": self.cycles,
@@ -80,6 +93,9 @@ class SimResult:
             "energy_nj": self.energy_nj,
             "counters": dict(self.counters),
         }
+        if self.obs is not None:
+            data["obs"] = self.obs
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
@@ -102,6 +118,7 @@ class SimResult:
             energy_nj=float(data["energy_nj"]),
             counters=Counters({str(k): int(v)
                                for k, v in data["counters"].items()}),
+            obs=data.get("obs"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
