@@ -229,6 +229,7 @@ class WallClockRule(Rule):
     #: never mixed into simulated state or cached results).
     ALLOWED_MODULES = (
         "repro.harness.engine",
+        "repro.harness.figures",
         "repro.harness.perfbench",
         "repro.harness.report",
     )

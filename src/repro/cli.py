@@ -6,6 +6,9 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim run astar --mode cdf --scale 0.5
     repro-sim compare astar mcf --scale 0.5
     repro-sim figure fig13 --scale 0.6 --jobs 4
+    repro-sim figures --quick --check-baseline
+    repro-sim figures --full --fig fig13-cdf-uplift
+    repro-sim figures --quick --out dashboard/
     repro-sim report --scale 0.6 --output report.md
     repro-sim report --benchmark astar --mode cdf --output astar.md
     repro-sim trace --benchmark astar --mode cdf --out trace.json
@@ -13,6 +16,7 @@ Installed as ``repro-sim`` (or ``python -m repro``):
     repro-sim perf [--smoke] [--baseline benchmarks/perf_baseline.json]
     repro-sim disasm bzip
     repro-sim lint [paths...] [--format json] [--baseline FILE]
+    repro-sim lint --docs
     repro-sim verify --fuzz 50 --seed 0
     repro-sim verify --bench astar --scale 0.2
 
@@ -127,6 +131,52 @@ def build_parser() -> argparse.ArgumentParser:
                             parents=[engine_opts])
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", type=float, default=0.5)
+
+    figures = sub.add_parser(
+        "figures",
+        help="run the paper-parity claim registry: every headline "
+             "figure/table with a match/within-tolerance/diverged "
+             "verdict (see docs/PAPER_VS_CODE.md)",
+        parents=[engine_opts])
+    profile = figures.add_mutually_exclusive_group()
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="CI profile: 6-kernel subset at scale 0.3 (default)")
+    profile.add_argument(
+        "--full", action="store_true",
+        help="paper-faithful profile: 18 kernels at scale 1.0")
+    figures.add_argument(
+        "--fig", action="append", default=None, metavar="ID",
+        help="run one claim (repeatable); see --list for ids")
+    figures.add_argument("--list", action="store_true",
+                         help="list the claim registry and exit")
+    figures.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    figures.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the HTML dashboard into DIR")
+    figures.add_argument(
+        "--serve", action="store_true",
+        help="serve the dashboard over HTTP instead of writing it")
+    figures.add_argument("--port", type=int, default=8437,
+                         help="port for --serve (default 8437)")
+    figures.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="pinned-values JSON (default "
+             "benchmarks/figures_baseline.json)")
+    figures.add_argument(
+        "--check-baseline", action="store_true",
+        help="diff values/verdicts against the pinned baseline; any "
+             "drift exits nonzero (quick profile only)")
+    figures.add_argument(
+        "--write-baseline", action="store_true",
+        help="re-pin the baseline from this run's values")
+    figures.add_argument(
+        "--sync-doc", action="store_true",
+        help="regenerate the claim-map block in docs/PAPER_VS_CODE.md "
+             "from the registry and exit (no simulations)")
+    figures.add_argument(
+        "--no-bench", action="store_true",
+        help="skip appending this run to BENCH_figures.json")
 
     disasm = sub.add_parser("disasm", help="print a kernel's assembly")
     disasm.add_argument("benchmark", choices=suite_names())
@@ -319,6 +369,86 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_figures(args) -> int:
+    from .harness import figures as figmod
+
+    if args.list:
+        print(figmod.describe_registry())
+        return 0
+    if args.sync_doc:
+        changed = figmod.sync_claim_map()
+        state = "updated" if changed else "already in sync"
+        print(f"{figmod.DEFAULT_CLAIM_DOC}: claim map {state}")
+        return 0
+
+    mode = "full" if args.full else "quick"
+    baseline_path = args.baseline or figmod.DEFAULT_BASELINE
+
+    def progress(line):
+        print(f"... {line}", file=sys.stderr)
+
+    results = figmod.run_figures(mode, fig_ids=args.fig,
+                                 seed=args.seed, progress=progress)
+    print(figmod.format_figures(results, mode))
+    record = figmod.bench_record(results, mode, seed=args.seed)
+
+    partial = bool(args.fig)
+    history = figmod.load_history()
+    if not partial and not args.no_bench:
+        history = figmod.append_history(record)
+        print(f"run appended to {figmod.DEFAULT_BENCH_REPORT} "
+              f"({len(history)} records)")
+
+    if args.out or args.serve:
+        from .harness.figdash import (
+            render_dashboard,
+            serve_dashboard,
+            write_dashboard,
+        )
+        if args.out:
+            path = write_dashboard(results, args.out, history=history,
+                                   mode=mode)
+            print(f"dashboard written to {path}")
+        if args.serve:
+            serve_dashboard(render_dashboard(results, history=history,
+                                             mode=mode), port=args.port)
+
+    failures = 0
+    if args.write_baseline:
+        if partial or mode != "quick":
+            print("--write-baseline needs a full-registry --quick run "
+                  "(pinned values cover every claim)", file=sys.stderr)
+            return 2
+        figmod.write_baseline(record, baseline_path)
+        print(f"baseline pinned to {baseline_path}")
+    elif args.check_baseline:
+        baseline = figmod.load_baseline(baseline_path)
+        if baseline is None:
+            print(f"no baseline at {baseline_path} (pin one with "
+                  "--write-baseline)", file=sys.stderr)
+            return 2
+        if partial:
+            # A subset run checks only the claims it ran.
+            baseline = dict(baseline)
+            baseline["claims"] = {
+                fig_id: claim
+                for fig_id, claim in baseline.get("claims", {}).items()
+                if fig_id in record["claims"]}
+        drifts = figmod.check_baseline(record, baseline)
+        for drift in drifts:
+            print(f"FIGURES DRIFT {drift}")
+        if not drifts:
+            print(f"all claims match the pinned baseline "
+                  f"({baseline_path})")
+        failures = len(drifts)
+
+    diverged = figmod.summarize(results)[figmod.DIVERGED]
+    if diverged:
+        print(f"{diverged} claim(s) diverged from the paper",
+              file=sys.stderr)
+    return 1 if (failures or diverged) else 0
+
+
 def cmd_report(args) -> int:
     def progress(title):
         print(f"... {title}", file=sys.stderr)
@@ -357,8 +487,27 @@ def _single_run_report(args, progress) -> str:
                  "(comparison run)")
         baseline = run_benchmark(args.benchmark, "baseline",
                                  scale=args.scale, seed=args.seed)
-    return render_run_report(result, baseline=baseline,
-                             fmt="html" if args.html else "md")
+    return render_run_report(
+        result, baseline=baseline, fmt="html" if args.html else "md",
+        provenance=_provenance(args.benchmark, args.mode, args.scale,
+                               args.seed, obs_level=args.obs_level))
+
+
+def _provenance(benchmark: str, mode: str, scale: float,
+                seed: int, **config_overrides) -> dict:
+    """Attribution block for rendered artifacts (reports, traces): the
+    config fingerprint plus the code-version salt pin a snapshot to an
+    exact simulated configuration and tree state."""
+    from .harness import code_salt
+    config = config_for_mode(mode, **config_overrides)
+    return {
+        "benchmark": benchmark,
+        "mode": mode,
+        "scale": scale,
+        "seed": seed,
+        "config": config.fingerprint(),
+        "code": code_salt(),
+    }
 
 
 def cmd_trace(args) -> int:
@@ -374,7 +523,10 @@ def cmd_trace(args) -> int:
         kwargs["max_uop_slices"] = args.max_uop_slices
     trace = write_chrome_trace(
         result.obs, args.out,
-        label=f"{args.benchmark}/{args.mode}", **kwargs)
+        label=f"{args.benchmark}/{args.mode}",
+        provenance=_provenance(args.benchmark, args.mode, args.scale,
+                               args.seed, obs_level=args.obs_level),
+        **kwargs)
     print(f"{len(trace['traceEvents'])} trace events written to "
           f"{args.out} (open in chrome://tracing or "
           f"https://ui.perfetto.dev)")
@@ -525,12 +677,18 @@ def cmd_verify(args) -> int:
 
 
 #: Subcommands that simulate (and therefore configure/report the engine).
-_SIMULATING = ("run", "compare", "figure", "report")
+_SIMULATING = ("run", "compare", "figure", "figures", "report")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "lint":
+        if "--docs" in raw[1:]:
+            # The docs checker (links, CLI examples, module paths)
+            # lives in the harness layer; see docs/analysis.md.
+            from .harness.docscheck import main as docs_main
+            rest = [arg for arg in raw[1:] if arg != "--docs"]
+            return docs_main(rest)
         # simlint has its own option surface; hand it the rest verbatim.
         from .analysis import main as lint_main
         return lint_main(raw[1:])
@@ -546,6 +704,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "figure": cmd_figure,
+        "figures": cmd_figures,
         "disasm": cmd_disasm,
         "report": cmd_report,
         "trace": cmd_trace,

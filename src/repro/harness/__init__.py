@@ -151,6 +151,47 @@ from .report import build_report  # noqa: E402
 
 __all__ += ["build_report"]
 
+from .figures import (  # noqa: E402
+    REGISTRY,
+    ClaimResult,
+    FigureSpec,
+    append_history,
+    bench_record,
+    check_baseline,
+    describe_registry,
+    format_figures,
+    load_baseline,
+    load_history,
+    render_claim_map,
+    run_claim,
+    run_figures,
+    sync_claim_map,
+    write_baseline,
+)
+from .figdash import render_dashboard, write_dashboard  # noqa: E402
+from .docscheck import check_docs  # noqa: E402
+
+__all__ += [
+    "REGISTRY",
+    "ClaimResult",
+    "FigureSpec",
+    "append_history",
+    "bench_record",
+    "check_baseline",
+    "check_docs",
+    "describe_registry",
+    "format_figures",
+    "load_baseline",
+    "load_history",
+    "render_claim_map",
+    "render_dashboard",
+    "run_claim",
+    "run_figures",
+    "sync_claim_map",
+    "write_baseline",
+    "write_dashboard",
+]
+
 from .timeline import (  # noqa: E402
     collect_events,
     first_seq_at_pc,

@@ -41,8 +41,13 @@ def _meta(name: str, tid: int, track: str) -> dict:
 
 def export_chrome_trace(obs: dict, label: str = "repro-sim",
                         max_uop_slices: int = DEFAULT_MAX_UOP_SLICES,
-                        ) -> dict:
-    """Convert an ``SimResult.obs`` payload into a Chrome-trace object."""
+                        provenance: Optional[dict] = None) -> dict:
+    """Convert an ``SimResult.obs`` payload into a Chrome-trace object.
+
+    ``provenance`` (config fingerprint, code-version salt, run
+    parameters) is stored under ``otherData`` so a saved trace is
+    attributable to the exact configuration and tree that produced it.
+    """
     events: List[dict] = [
         {"ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
          "args": {"name": label}},
@@ -100,15 +105,18 @@ def export_chrome_trace(obs: dict, label: str = "repro-sim",
             emitted += 1
             if emitted >= max_uop_slices:
                 break
+    other = {
+        "clock": "1 trace us == 1 core cycle",
+        "label": label,
+        "obs_level": obs.get("level"),
+        "sample_interval": interval,
+    }
+    if provenance:
+        other["provenance"] = dict(provenance)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "clock": "1 trace us == 1 core cycle",
-            "label": label,
-            "obs_level": obs.get("level"),
-            "sample_interval": interval,
-        },
+        "otherData": other,
     }
 
 
@@ -168,10 +176,11 @@ def validate_chrome_trace(trace: dict) -> List[str]:
 
 def write_chrome_trace(obs: dict, path: str, label: str = "repro-sim",
                        max_uop_slices: int = DEFAULT_MAX_UOP_SLICES,
-                       ) -> dict:
+                       provenance: Optional[dict] = None) -> dict:
     """Export, validate, and write a trace; returns the trace object."""
     trace = export_chrome_trace(obs, label=label,
-                                max_uop_slices=max_uop_slices)
+                                max_uop_slices=max_uop_slices,
+                                provenance=provenance)
     problems = validate_chrome_trace(trace)
     if problems:
         raise ValueError("generated trace failed self-validation: "

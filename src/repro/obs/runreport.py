@@ -106,8 +106,14 @@ _SPARK_GAUGES = [
 ]
 
 
-def render_run_report(result, baseline=None, fmt: str = "md") -> str:
-    """Render *result* (a ``SimResult`` with ``.obs``) as md or html."""
+def render_run_report(result, baseline=None, fmt: str = "md",
+                      provenance: Optional[Dict] = None) -> str:
+    """Render *result* (a ``SimResult`` with ``.obs``) as md or html.
+
+    ``provenance`` (config fingerprint, code-version salt, run
+    parameters) is appended as a footer so a saved report is
+    attributable to the exact configuration and tree that produced it.
+    """
     if fmt not in ("md", "html"):
         raise ValueError(f"unknown report format: {fmt!r}")
     obs = result.obs or {}
@@ -207,6 +213,17 @@ def render_run_report(result, baseline=None, fmt: str = "md") -> str:
             out("")
             out("_Baseline has no critical stream (fetch-ahead is "
                 "identically 0)._")
+        out("")
+
+    if provenance:
+        out("---")
+        out("")
+        bits = [f"{key} `{provenance[key]}`"
+                for key in ("config", "code") if key in provenance]
+        run = " ".join(str(provenance[key])
+                       for key in ("benchmark", "mode", "scale", "seed")
+                       if key in provenance)
+        out(f"_Provenance: {run} — " + ", ".join(bits) + "._")
         out("")
 
     if fmt == "html":

@@ -1,6 +1,7 @@
 """Statistics: counters, MLP measurement, ROB-stall profiling, results."""
 
 from .counters import Counters
+from .metrics import geomean, mean, percent_delta, ratio_of
 from .mlp import MLPTracker
 from .registry import (
     COUNTERS,
@@ -20,7 +21,11 @@ __all__ = [
     "RobStallProfiler",
     "SimResult",
     "UnknownCounterError",
+    "geomean",
     "is_known",
     "mark_critical_chains",
+    "mean",
+    "percent_delta",
+    "ratio_of",
     "validate_key",
 ]

@@ -1,0 +1,62 @@
+"""Scalar metric helpers shared by the harness and the figure registry.
+
+The paper reports every headline number as a geometric mean over the
+benchmark suite, usually as a percentage delta against the baseline
+core.  These helpers are the single place that arithmetic lives so the
+figure drivers (:mod:`repro.harness.experiments`), the paper-parity
+registry (:mod:`repro.harness.figures`), and ad-hoc analysis scripts
+cannot disagree on how a "geomean uplift" is computed.
+
+Everything here is a pure function of its inputs (no config, no state),
+which keeps the module inside the mypy strict island and importable
+from any layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "geomean",
+    "mean",
+    "percent_delta",
+    "ratio_of",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively.
+
+    An empty (or all-non-positive) input yields 0.0 rather than raising,
+    matching the long-standing harness behaviour the figure drivers and
+    their pinned outputs rely on.
+    """
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positive)
+                    / len(positive))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input (Fig. 1 uses this for
+    the stalling-benchmark average)."""
+    listed = list(values)
+    if not listed:
+        return 0.0
+    return sum(listed) / len(listed)
+
+
+def percent_delta(ratio: float) -> float:
+    """A ratio-over-baseline expressed the way the paper reports it:
+    ``1.061 -> +6.1`` (percent above baseline), ``0.965 -> -3.5``."""
+    return (ratio - 1.0) * 100.0
+
+
+def ratio_of(value: float, baseline: float,
+             default: float = 0.0) -> float:
+    """``value / baseline`` with an explicit zero-baseline policy."""
+    if baseline == 0:
+        return default
+    return value / baseline
