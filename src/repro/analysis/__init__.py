@@ -3,10 +3,17 @@
 The experiment engine's content-addressed result cache (PR 1) is only
 sound if every simulation is a pure, deterministic function of
 (workload, scale, seed, SimConfig, code).  This package machine-checks
-the bug classes that silently break that contract — unseeded RNG,
-hash-order-dependent iteration, caller-config mutation, wall-clock
-leakage, typo'd counter keys, float drift in cycle counts, layering
-violations, and mutable default arguments.
+the bug classes that silently break that contract, in two tiers:
+
+* **syntactic** rules (DET/CFG/STAT/NUM/ARCH/API001) pattern-match a
+  single module's AST — unseeded RNG, hash-order iteration,
+  caller-config mutation, wall-clock leakage, typo'd counter keys,
+  float drift, layering violations, mutable default arguments;
+* **dataflow** rules (PUR001/TIME001/CONC001/GRD001/API002) run a
+  per-function CFG + reaching-definitions/guard-dominance analysis and
+  a project-wide call graph — level-gating purity, cycle monotonicity,
+  process safety, capacity-guarded growth, pipeline paradigm
+  conformance.
 
 Entry points::
 
@@ -17,18 +24,31 @@ See ``docs/analysis.md`` for the rule catalogue, suppression syntax
 (``# simlint: disable=RULEID``) and the baseline workflow.
 """
 
-from .core import Finding, LintContext, Rule, parse_suppressions
+from .core import Directive, Finding, LintContext, ProjectRule, Rule, \
+    parse_suppressions
 from .baseline import Baseline
+from .cfg import build_cfg
+from .dataflow import FunctionAnalysis, analyze_function
+from .callgraph import ProjectContext, build_project
 from .rules import ALL_RULES, rule_by_id
-from .runner import LintReport, lint_paths, lint_source, main
+from .runner import LintReport, UnusedSuppression, lint_paths, \
+    lint_source, main
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
+    "Directive",
     "Finding",
+    "FunctionAnalysis",
     "LintContext",
     "LintReport",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
+    "UnusedSuppression",
+    "analyze_function",
+    "build_cfg",
+    "build_project",
     "lint_paths",
     "lint_source",
     "main",

@@ -1,0 +1,267 @@
+"""Project-wide symbol table and approximate call graph.
+
+The project rules (CONC001/GRD001/API002) need facts no single module
+holds: which functions are reachable from the engine's worker entry
+points, whether *every* caller of an allocator is capacity-gated, and
+what a pipeline class inherits.  :class:`ProjectContext` indexes every
+linted module's classes, functions, and module-level bindings, plus a
+name-based call graph.
+
+The call graph is deliberately approximate: a call ``x.f(...)`` edges
+to *every* project function named ``f``.  That over-approximates
+reachability (safe for CONC001, which wants "could a worker run this")
+and over-approximates the caller set (safe for GRD001, which demands
+all callers be gated).  Methods that only exist in the stdlib resolve
+to nothing and terminate the walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cfg import stmt_expressions
+from .core import LintContext
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectContext",
+    "build_project",
+]
+
+_FuncNode = ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition somewhere in the project."""
+
+    module: str
+    qualname: str                 # 'Class.method' or 'function'
+    name: str
+    node: ast.AST                 # the FunctionDef / AsyncFunctionDef
+    ctx: LintContext
+    class_name: Optional[str] = None
+    #: simple names this function calls (``f(...)`` and ``x.f(...)``)
+    called_names: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+
+@dataclass
+class CallSite:
+    """One call expression, with enough context to re-analyze the
+    calling function around it."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    stmt: ast.stmt                # statement containing the call
+
+
+@dataclass
+class ClassInfo:
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: LintContext
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: names assigned at class level (class attributes)
+    class_assigns: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleGlobal:
+    """A module-level name binding (``NAME = <expr>`` at top level)."""
+
+    module: str
+    name: str
+    stmt: ast.stmt
+    value: Optional[ast.expr]
+
+
+class ProjectContext:
+    """Symbol tables over every linted module."""
+
+    def __init__(self, contexts: List[LintContext]) -> None:
+        self.contexts = list(contexts)
+        self.by_relpath: Dict[str, LintContext] = {
+            ctx.relpath: ctx for ctx in contexts}
+        #: simple name -> every project function/method with that name
+        self.functions: Dict[str, List[FunctionInfo]] = {}
+        #: simple name -> every project class with that name
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        #: module -> name -> module-level binding
+        self.module_globals: Dict[str, Dict[str, ModuleGlobal]] = {}
+        for ctx in contexts:
+            self._index_module(ctx)
+        #: simple name -> call sites invoking that name anywhere
+        self.call_sites: Dict[str, List[CallSite]] = {}
+        self._index_calls()
+
+    # ------------------------------------------------------------------
+    def _index_module(self, ctx: LintContext) -> None:
+        module_bindings: Dict[str, ModuleGlobal] = {}
+        self.module_globals[ctx.module] = module_bindings
+        tree = ctx.tree
+        body = getattr(tree, "body", [])
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module_bindings[target.id] = ModuleGlobal(
+                            module=ctx.module, name=target.id,
+                            stmt=stmt, value=stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                module_bindings[stmt.target.id] = ModuleGlobal(
+                    module=ctx.module, name=stmt.target.id,
+                    stmt=stmt, value=stmt.value)
+        method_ids: Dict[int, bool] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        method_ids[id(child)] = True
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._index_class(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if id(node) not in method_ids:
+                    self._add_function(FunctionInfo(
+                        module=ctx.module, qualname=node.name,
+                        name=node.name, node=node, ctx=ctx))
+
+    def _index_class(self, ctx: LintContext, node: ast.ClassDef) -> None:
+        info = ClassInfo(module=ctx.module, name=node.name, node=node,
+                         ctx=ctx)
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is not None:
+                info.base_names.append(dotted.split(".")[-1])
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    module=ctx.module,
+                    qualname=f"{node.name}.{child.name}",
+                    name=child.name, node=child, ctx=ctx,
+                    class_name=node.name)
+                info.methods[child.name] = method
+                self._add_function(method)
+            elif isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        info.class_assigns.append(target.id)
+            elif isinstance(child, ast.AnnAssign) and \
+                    isinstance(child.target, ast.Name):
+                info.class_assigns.append(child.target.id)
+        self.classes.setdefault(node.name, []).append(info)
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions.setdefault(info.name, []).append(info)
+        called: List[str] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                name = _callee_name(node)
+                if name is not None and name not in called:
+                    called.append(name)
+        info.called_names = called
+
+    def _index_calls(self) -> None:
+        for _name, infos in sorted(self.functions.items()):
+            for info in infos:
+                for stmt in ast.walk(info.node):
+                    if not isinstance(stmt, ast.stmt):
+                        continue
+                    for expr in stmt_expressions(stmt):
+                        if isinstance(expr, ast.Call):
+                            name = _callee_name(expr)
+                            if name is not None:
+                                self.call_sites.setdefault(
+                                    name, []).append(CallSite(
+                                        caller=info, call=expr,
+                                        stmt=stmt))
+
+    # ------------------------------------------------------------------
+    def resolve_bases(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Transitive project base classes of *cls* (simple-name
+        resolution, cycle-safe, deterministic order)."""
+        resolved: List[ClassInfo] = []
+        seen: List[str] = [cls.name]
+        queue = list(cls.base_names)
+        while queue:
+            base_name = queue.pop(0)
+            if base_name in seen:
+                continue
+            seen.append(base_name)
+            for base in self.classes.get(base_name, []):
+                resolved.append(base)
+                queue.extend(base.base_names)
+        return resolved
+
+    def lookup_method(self, cls: ClassInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        """Resolve *name* on *cls* or its project bases (MRO-ish)."""
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in self.resolve_bases(cls):
+            if name in base.methods:
+                return base.methods[name]
+        return None
+
+    def reachable_from(self, entries: List[FunctionInfo]
+                       ) -> List[FunctionInfo]:
+        """Functions transitively callable from *entries* under the
+        name-based approximation, in BFS order."""
+        seen_keys: Dict[str, FunctionInfo] = {}
+        queue: List[FunctionInfo] = []
+        for entry in entries:
+            if entry.key not in seen_keys:
+                seen_keys[entry.key] = entry
+                queue.append(entry)
+        order: List[FunctionInfo] = []
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            for called in current.called_names:
+                targets = list(self.functions.get(called, []))
+                # instantiating a class runs its __init__ chain
+                for cls in self.classes.get(called, []):
+                    init = self.lookup_method(cls, "__init__")
+                    if init is not None:
+                        targets.append(init)
+                for target in targets:
+                    if target.key not in seen_keys:
+                        seen_keys[target.key] = target
+                        queue.append(target)
+        return order
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def build_project(contexts: List[LintContext]) -> ProjectContext:
+    return ProjectContext(contexts)

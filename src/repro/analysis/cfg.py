@@ -1,0 +1,301 @@
+"""Per-function control-flow graphs over Python AST.
+
+The dataflow rules (PUR001/TIME001/GRD001) need two facts a flat AST
+walk cannot provide: *which tests dominate a statement* (so an
+``self.observer.on_x(...)`` call inside ``if observer is not None:`` is
+distinguishable from an unguarded one, including the early-return shape
+``if not ok: return`` / mutate-after) and *which definitions reach a
+use* (so ``ifetch = self.mem.ifetch; ifetch(cycle, line)`` resolves to
+the memory API it aliases).  This module builds the CFG; the solvers
+live in :mod:`repro.analysis.dataflow`.
+
+Design notes:
+
+* Edges carry the branch **test expression** but not its polarity.  A
+  statement is treated as guarded by a test whenever it is
+  control-dependent on it — loose, but exactly right for lint: the
+  interesting question is "did the author *consider* capacity/level
+  here", not "which arm am I in".
+* ``return`` / ``raise`` / ``break`` / ``continue`` terminate their
+  block, which is what makes early-return guards dominate the join
+  block after the ``if``.
+* ``try`` bodies conservatively edge into every handler from both the
+  pre-``try`` state and the body (partial execution), so handler code
+  claims neither guards nor definitions it might not have.
+* ``with`` bodies run unconditionally and stay in the current block.
+* ``assert cond`` splits the block and guards everything after it.
+
+The graph is deterministic by construction (block ids are allocation
+order, edge lists are append order) — simlint lints itself, so no rule
+may iterate an unordered container.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "Edge",
+    "FunctionNode",
+    "build_cfg",
+    "iter_function_defs",
+    "stmt_expressions",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line statement sequence."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    #: branch test controlling this edge; ``None`` for unconditional
+    #: (and for loop-iteration edges, which guard nothing).
+    cond: Optional[ast.expr] = None
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    func: FunctionNode
+    blocks: Dict[int, BasicBlock]
+    edges: List[Edge]
+    entry: int
+    exit: int
+    #: ``id(stmt) -> block id`` for every statement in the function.
+    #: Compound statements map to the block that evaluates their test.
+    block_of: Dict[int, int]
+
+    def preds(self, block_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.dst == block_id]
+
+    def succs(self, block_id: int) -> List[Edge]:
+        return [e for e in self.edges if e.src == block_id]
+
+    def block_ids(self) -> List[int]:
+        return sorted(self.blocks)
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.edges: List[Edge] = []
+        self.block_of: Dict[int, int] = {}
+        #: (continue target, break target) per enclosing loop
+        self.loop_stack: List[Tuple[int, int]] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> int:
+        block_id = len(self.blocks)
+        self.blocks[block_id] = BasicBlock(id=block_id)
+        return block_id
+
+    def edge(self, src: int, dst: int,
+             cond: Optional[ast.expr] = None) -> None:
+        self.edges.append(Edge(src=src, dst=dst, cond=cond))
+
+    def place(self, stmt: ast.stmt, block_id: int) -> None:
+        self.blocks[block_id].stmts.append(stmt)
+        self.block_of[id(stmt)] = block_id
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        end = self.visit_body(self.func.body, self.entry)
+        if end is not None:
+            self.edge(end, self.exit)
+        return CFG(func=self.func, blocks=self.blocks, edges=self.edges,
+                   entry=self.entry, exit=self.exit,
+                   block_of=self.block_of)
+
+    def visit_body(self, stmts: List[ast.stmt],
+                   current: int) -> Optional[int]:
+        """Thread *stmts* through the graph; returns the open block at
+        the end of the sequence, or ``None`` if every path terminated."""
+        open_block: Optional[int] = current
+        for stmt in stmts:
+            if open_block is None:
+                # unreachable code after return/raise/break — still
+                # place it so block_of is total (guards default to TOP).
+                open_block = self.new_block()
+            open_block = self.visit_stmt(stmt, open_block)
+        return open_block
+
+    def visit_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._visit_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.place(stmt, current)
+            return self.visit_body(stmt.body, current)
+        if isinstance(stmt, ast.Assert):
+            self.place(stmt, current)
+            after = self.new_block()
+            self.edge(current, after, cond=stmt.test)
+            return after
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.place(stmt, current)
+            self.edge(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.place(stmt, current)
+            if self.loop_stack:
+                self.edge(current, self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.place(stmt, current)
+            if self.loop_stack:
+                self.edge(current, self.loop_stack[-1][0])
+            return None
+        match_cls = getattr(ast, "Match", None)
+        if match_cls is not None and isinstance(stmt, match_cls):
+            return self._visit_match(stmt, current)
+        # plain statement (incl. nested def/class, treated as opaque)
+        self.place(stmt, current)
+        return current
+
+    def _visit_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.place(stmt, current)
+        then_block = self.new_block()
+        self.edge(current, then_block, cond=stmt.test)
+        then_end = self.visit_body(stmt.body, then_block)
+        else_end: Optional[int] = None
+        has_else = bool(stmt.orelse)
+        if has_else:
+            else_block = self.new_block()
+            self.edge(current, else_block, cond=stmt.test)
+            else_end = self.visit_body(stmt.orelse, else_block)
+        if then_end is None and else_end is None and has_else:
+            return None
+        join = self.new_block()
+        if not has_else:
+            # fall-through when the test failed: this edge is what makes
+            # `if bad: return` guard everything after the if.
+            self.edge(current, join, cond=stmt.test)
+        if then_end is not None:
+            self.edge(then_end, join)
+        if else_end is not None:
+            self.edge(else_end, join)
+        return join
+
+    def _visit_loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+                    current: int) -> Optional[int]:
+        header = self.new_block()
+        self.place(stmt, header)
+        self.edge(current, header)
+        body_block = self.new_block()
+        after = self.new_block()
+        if isinstance(stmt, ast.While):
+            self.edge(header, body_block, cond=stmt.test)
+            infinite = (isinstance(stmt.test, ast.Constant)
+                        and bool(stmt.test.value))
+            if not infinite:
+                self.edge(header, after, cond=stmt.test)
+        else:
+            self.edge(header, body_block)
+            self.edge(header, after)
+        self.loop_stack.append((header, after))
+        body_end = self.visit_body(stmt.body, body_block)
+        self.loop_stack.pop()
+        if body_end is not None:
+            self.edge(body_end, header)
+        if stmt.orelse:
+            return self.visit_body(stmt.orelse, after)
+        return after
+
+    def _visit_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        self.place(stmt, current)
+        body_block = self.new_block()
+        self.edge(current, body_block)
+        body_end = self.visit_body(stmt.body, body_block)
+        ends: List[int] = []
+        for handler in stmt.handlers:
+            handler_block = self.new_block()
+            # an exception may fire before the body ran at all, or
+            # after it partially ran — edge from both states.
+            self.edge(current, handler_block)
+            self.edge(body_block, handler_block)
+            if body_end is not None:
+                self.edge(body_end, handler_block)
+            handler_end = self.visit_body(handler.body, handler_block)
+            if handler_end is not None:
+                ends.append(handler_end)
+        if body_end is not None and stmt.orelse:
+            body_end = self.visit_body(stmt.orelse, body_end)
+        if body_end is not None:
+            ends.append(body_end)
+        if stmt.finalbody:
+            final_block = self.new_block()
+            for end in ends:
+                self.edge(end, final_block)
+            if not ends:
+                # all paths raised/returned; finally still runs.
+                self.edge(current, final_block)
+            return self.visit_body(stmt.finalbody, final_block)
+        if not ends:
+            return None
+        join = self.new_block()
+        for end in ends:
+            self.edge(end, join)
+        return join
+
+    def _visit_match(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        self.place(stmt, current)
+        join = self.new_block()
+        self.edge(current, join)        # no case matched
+        for case in getattr(stmt, "cases", []):
+            case_block = self.new_block()
+            self.edge(current, case_block)
+            case_end = self.visit_body(case.body, case_block)
+            if case_end is not None:
+                self.edge(case_end, join)
+        return join
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of *func*'s body."""
+    return _Builder(func).build()
+
+
+def iter_function_defs(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function/method in *tree*, including nested ones, in
+    source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def stmt_expressions(stmt: ast.stmt) -> List[ast.AST]:
+    """All expression-level nodes belonging *directly* to *stmt*.
+
+    Descends through expressions (which cannot contain statements) but
+    not into child statement bodies, so a node found here genuinely
+    executes in *stmt*'s basic block.
+    """
+    roots: List[ast.AST] = []
+    for _field_name, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            roots.append(value)
+        elif isinstance(value, list):
+            roots.extend(v for v in value if isinstance(v, ast.expr))
+    nodes: List[ast.AST] = []
+    for root in roots:
+        nodes.extend(ast.walk(root))
+    return nodes

@@ -21,14 +21,22 @@ counted and surfaced in reports so they stay visible, not buried.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, \
+    Set, Tuple
+
+if TYPE_CHECKING:                                   # pragma: no cover
+    from .callgraph import ProjectContext
 
 __all__ = [
+    "Directive",
     "Finding",
     "LintContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
     "parse_suppressions",
@@ -81,43 +89,115 @@ class Finding:
 
 
 @dataclass
+class Directive:
+    """One ``# simlint: disable...`` comment, with usage tracking.
+
+    A directive that never suppressed a finding for any rule that
+    actually ran is *stale* — dead weight that hides future findings —
+    and is surfaced as an unused-suppression warning by the runner.
+    """
+
+    line: int                     # line the comment sits on (1-based)
+    kind: str                     # disable | disable-next | disable-file
+    rules: Tuple[str, ...]        # rule ids, possibly including 'all'
+    #: rule ids this directive actually suppressed during the run
+    used_for: Set[str] = field(default_factory=set)
+
+    def matches(self, rule_id: str) -> bool:
+        return rule_id in self.rules or "all" in self.rules
+
+    def unused_rules(self, ran_rule_ids: Sequence[str]) -> List[str]:
+        """Rule ids listed here that ran but suppressed nothing
+        (``'all'`` is unused only if nothing at all was suppressed)."""
+        unused: List[str] = []
+        for rule_id in self.rules:
+            if rule_id == "all":
+                if ran_rule_ids and not self.used_for:
+                    unused.append("all")
+            elif rule_id in ran_rule_ids and rule_id not in self.used_for:
+                unused.append(rule_id)
+        return unused
+
+
+@dataclass
 class Suppressions:
     """Per-file suppression directives parsed from comments."""
 
-    #: line (1-based) -> set of rule ids ('all' wildcards every rule)
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    #: rule ids suppressed for the whole file
-    file_wide: Set[str] = field(default_factory=set)
+    directives: List[Directive] = field(default_factory=list)
+    #: effective line (1-based) -> directives applying to that line
+    by_line: Dict[int, List[Directive]] = field(default_factory=dict)
+    #: directives suppressing for the whole file
+    file_wide: List[Directive] = field(default_factory=list)
+
+    def add(self, directive: Directive) -> None:
+        self.directives.append(directive)
+        if directive.kind == "disable-file":
+            self.file_wide.append(directive)
+        else:
+            offset = 1 if directive.kind == "disable-next" else 0
+            self.by_line.setdefault(directive.line + offset,
+                                    []).append(directive)
 
     def is_suppressed(self, rule_id: str, first_line: int,
                       last_line: int) -> bool:
-        if rule_id in self.file_wide or "all" in self.file_wide:
+        hit = False
+        for directive in self.file_wide:
+            if directive.matches(rule_id):
+                directive.used_for.add(rule_id)
+                hit = True
+        if hit:
             return True
         for line in range(first_line, last_line + 1):
-            ids = self.by_line.get(line)
-            if ids and (rule_id in ids or "all" in ids):
-                return True
-        return False
+            for directive in self.by_line.get(line, []):
+                if directive.matches(rule_id):
+                    directive.used_for.add(rule_id)
+                    hit = True
+        return hit
+
+    def unused(self, ran_rule_ids: Sequence[str]
+               ) -> List[Tuple[Directive, List[str]]]:
+        """(directive, unused rule ids) pairs for stale directives."""
+        stale: List[Tuple[Directive, List[str]]] = []
+        for directive in self.directives:
+            unused_ids = directive.unused_rules(ran_rule_ids)
+            if unused_ids:
+                stale.append((directive, unused_ids))
+        return stale
+
+
+def _iter_comments(lines: Sequence[str]) -> List[Tuple[int, str]]:
+    """(lineno, text) of every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directives
+    quoted inside strings/docstrings — like the examples in this very
+    module's docstring — from being parsed as live suppressions, which
+    matters now that unused directives are reported.
+    """
+    source = "\n".join(lines) + "\n"
+    try:
+        return [(token.start[0], token.string)
+                for token in tokenize.generate_tokens(
+                    io.StringIO(source).readline)
+                if token.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source: fall back to raw lines so suppressions
+        # still work (the file will fail with a parse error anyway).
+        return list(enumerate(lines, start=1))
 
 
 def parse_suppressions(lines: Sequence[str]) -> Suppressions:
-    """Extract ``# simlint:`` directives from raw source lines."""
+    """Extract ``# simlint:`` directives from source comments."""
     supp = Suppressions()
-    for lineno, text in enumerate(lines, start=1):
+    for lineno, text in _iter_comments(lines):
         match = _DIRECTIVE_RE.search(text)
         if match is None:
             continue
-        kind = match.group(1)
-        ids = {part.strip() for part in match.group(2).split(",")
-               if part.strip()}
+        ids = [part.strip() for part in match.group(2).split(",")
+               if part.strip()]
         if not ids:
             continue
-        if kind == "disable-file":
-            supp.file_wide |= ids
-        elif kind == "disable-next":
-            supp.by_line.setdefault(lineno + 1, set()).update(ids)
-        else:
-            supp.by_line.setdefault(lineno, set()).update(ids)
+        supp.add(Directive(line=lineno, kind=match.group(1),
+                           rules=tuple(ids)))
     return supp
 
 
@@ -190,6 +270,41 @@ class Rule:
             end_line = finding.end_line or finding.line
             if ctx.suppressions.is_suppressed(self.id, finding.line,
                                               end_line):
+                suppressed += 1
+            else:
+                active.append(finding)
+        return active, suppressed
+
+
+class ProjectRule(Rule):
+    """A rule over the *whole* linted file set, not one module.
+
+    Per-file rules see one AST; project rules (reachability, caller
+    audits, inheritance contracts) get a
+    :class:`~repro.analysis.callgraph.ProjectContext` indexing every
+    linted module.  Findings still land in individual files, so the
+    per-file suppression directives apply unchanged.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Project rules contribute nothing in the per-file pass."""
+        return iter(())
+
+    def check_project(self,
+                      project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def run_project(self, project: "ProjectContext"
+                    ) -> Tuple[List[Finding], int]:
+        """Apply over the project; per-file suppressions still count."""
+        active: List[Finding] = []
+        suppressed = 0
+        for finding in self.check_project(project):
+            ctx = project.by_relpath.get(finding.path)
+            end_line = finding.end_line or finding.line
+            if ctx is not None and ctx.suppressions.is_suppressed(
+                    self.id, finding.line, end_line):
                 suppressed += 1
             else:
                 active.append(finding)

@@ -1,0 +1,300 @@
+"""Worklist dataflow solvers over :mod:`repro.analysis.cfg` graphs.
+
+Two analyses back the semantic rules:
+
+* **Reaching definitions** (may, forward): for a name used at a
+  statement, which assignments can have produced its value.  This is
+  what lets rules see through local aliases —
+  ``verifier = self.verifier`` or ``ifetch = self.mem.ifetch`` — and
+  judge the *source* expression instead of the local name.
+* **Guard dominance** (must, forward): the set of branch tests every
+  path from function entry to a block necessarily passed through.
+  Edge conditions come from the CFG; the intersection over
+  predecessors is exactly "tests the author made this code
+  control-dependent on".
+
+Both are deterministic: facts are kept in insertion-ordered dicts keyed
+by node identity, never in hash-ordered sets (simlint lints itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cfg import CFG, Edge, FunctionNode, build_cfg, stmt_expressions
+
+__all__ = [
+    "Definition",
+    "FunctionAnalysis",
+    "ReachingDefs",
+    "analyze_function",
+    "guard_facts",
+]
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One assignment of *name* at *stmt* (``value`` is the RHS for a
+    simple ``name = expr``; ``None`` when opaque — augmented
+    assignment, tuple unpack, loop target, parameter)."""
+
+    name: str
+    stmt: ast.stmt
+    value: Optional[ast.expr] = None
+    is_param: bool = False
+
+
+def _stmt_definitions(stmt: ast.stmt) -> List[Definition]:
+    defs: List[Definition] = []
+
+    def add_target(target: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            defs.append(Definition(name=target.id, stmt=stmt, value=value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element, None)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value, None)
+
+    if isinstance(stmt, ast.Assign):
+        single = len(stmt.targets) == 1 and isinstance(stmt.targets[0],
+                                                       ast.Name)
+        for target in stmt.targets:
+            add_target(target, stmt.value if single else None)
+    elif isinstance(stmt, ast.AnnAssign):
+        add_target(stmt.target, stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        add_target(stmt.target, None)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        add_target(stmt.target, None)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                add_target(item.optional_vars, item.context_expr)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            defs.append(Definition(name=bound, stmt=stmt, value=None))
+    # walrus targets anywhere in the statement's expressions
+    for node in stmt_expressions(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target,
+                                                          ast.Name):
+            defs.append(Definition(name=node.target.id, stmt=stmt,
+                                   value=node.value))
+    return defs
+
+
+#: dataflow fact: name -> def-index tuple (sorted, so joins are
+#: order-independent and iteration is deterministic)
+_Facts = Dict[str, Tuple[int, ...]]
+
+
+class ReachingDefs:
+    """May-reaching definitions for one function."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._defs: List[Definition] = []
+        self._param_defs: _Facts = {}
+        self._block_in: Dict[int, _Facts] = {}
+        #: id(stmt) -> indices into _defs created by that statement
+        self._stmt_defs: Dict[int, List[int]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        cfg = self.cfg
+        gen_by_block: Dict[int, List[int]] = {}
+        for block_id in cfg.block_ids():
+            indices: List[int] = []
+            for stmt in cfg.blocks[block_id].stmts:
+                per_stmt: List[int] = []
+                for definition in _stmt_definitions(stmt):
+                    per_stmt.append(len(self._defs))
+                    self._defs.append(definition)
+                self._stmt_defs[id(stmt)] = per_stmt
+                indices.extend(per_stmt)
+            gen_by_block[block_id] = indices
+
+        args = cfg.func.args
+        params = list(args.posonlyargs) + list(args.args) + \
+            list(args.kwonlyargs)
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        for arg in params:
+            index = len(self._defs)
+            self._defs.append(Definition(name=arg.arg, stmt=cfg.func,
+                                         value=None, is_param=True))
+            self._param_defs[arg.arg] = (index,)
+
+        def transfer(facts: _Facts, block_id: int) -> _Facts:
+            out = dict(facts)
+            for index in gen_by_block[block_id]:
+                out[self._defs[index].name] = (index,)
+            return out
+
+        def join(left: _Facts, right: _Facts) -> _Facts:
+            merged = dict(left)
+            for name, indices in right.items():
+                previous = merged.get(name, ())
+                merged[name] = tuple(sorted(set(previous) | set(indices)))
+            return merged
+
+        preds: Dict[int, List[int]] = {b: [] for b in cfg.block_ids()}
+        for edge in cfg.edges:
+            preds[edge.dst].append(edge.src)
+        out_facts: Dict[int, _Facts] = {}
+        ordered = cfg.block_ids()
+        changed = True
+        while changed:
+            changed = False
+            for block_id in ordered:
+                if block_id == cfg.entry:
+                    incoming: _Facts = dict(self._param_defs)
+                else:
+                    incoming = {}
+                    for source in preds[block_id]:
+                        incoming = join(incoming,
+                                        out_facts.get(source, {}))
+                self._block_in[block_id] = incoming
+                new_out = transfer(incoming, block_id)
+                if out_facts.get(block_id) != new_out:
+                    out_facts[block_id] = new_out
+                    changed = True
+
+    # ------------------------------------------------------------------
+    def at(self, stmt: ast.stmt, name: str) -> List[Definition]:
+        """Definitions of *name* that may reach the start of *stmt*."""
+        block_id = self.cfg.block_of.get(id(stmt))
+        if block_id is None:
+            return []
+        facts = dict(self._block_in.get(block_id, {}))
+        for earlier in self.cfg.blocks[block_id].stmts:
+            if earlier is stmt:
+                break
+            for index in self._stmt_defs.get(id(earlier), ()):
+                facts[self._defs[index].name] = (index,)
+        return [self._defs[i] for i in facts.get(name, ())]
+
+    # ------------------------------------------------------------------
+    def name_sources(self, expr: ast.AST, at_stmt: ast.stmt,
+                     depth: int = 3) -> List[ast.AST]:
+        """Leaf source expressions *expr* may evaluate to.
+
+        Chases ``Name`` loads through their reaching definitions up to
+        *depth* hops; opaque definitions (parameters, loop targets,
+        augmented assignment) and unresolved names contribute the
+        ``Name`` node itself, to be judged by its identifier text.
+        """
+        results: List[ast.AST] = []
+        seen: List[Tuple[int, str]] = []
+
+        def walk(node: ast.AST, origin: ast.stmt, hops: int) -> None:
+            if isinstance(node, ast.IfExp) and hops > 0:
+                # `x = a if cond else b` aliases either branch
+                walk(node.body, origin, hops)
+                walk(node.orelse, origin, hops)
+                return
+            if isinstance(node, ast.BoolOp) and hops > 0:
+                # `x = a or default` aliases any operand
+                for value in node.values:
+                    walk(value, origin, hops)
+                return
+            if not isinstance(node, ast.Name) or hops <= 0:
+                results.append(node)
+                return
+            definitions = self.at(origin, node.id)
+            if not definitions:
+                results.append(node)
+                return
+            for definition in definitions:
+                key = (id(definition.stmt), definition.name)
+                if key in seen:
+                    continue
+                seen.append(key)
+                if definition.value is None:
+                    results.append(node)
+                else:
+                    walk(definition.value, definition.stmt, hops - 1)
+
+        walk(expr, at_stmt, depth)
+        return results
+
+
+def guard_facts(cfg: CFG) -> Dict[int, List[ast.expr]]:
+    """Tests dominating each block's entry (must-analysis).
+
+    ``result[block_id]`` lists every branch test that *all* paths from
+    entry pass through before reaching the block, in deterministic
+    order.  Polarity is not tracked (see :mod:`repro.analysis.cfg`).
+    Unreachable blocks dominate vacuously and report every test seen.
+    """
+    # facts: id(test) -> test, insertion-ordered; None marks TOP
+    facts: Dict[int, Optional[Dict[int, ast.expr]]] = {
+        block_id: None for block_id in cfg.block_ids()}
+    facts[cfg.entry] = {}
+    ordered = cfg.block_ids()
+    pred_edges: Dict[int, List[Edge]] = {b: [] for b in ordered}
+    for edge in cfg.edges:
+        pred_edges[edge.dst].append(edge)
+    changed = True
+    while changed:
+        changed = False
+        for block_id in ordered:
+            if block_id == cfg.entry:
+                continue
+            incoming: Optional[Dict[int, ast.expr]] = None
+            for edge in pred_edges[block_id]:
+                source = facts[edge.src]
+                if source is None:
+                    continue        # TOP predecessor constrains nothing
+                contribution = dict(source)
+                if edge.cond is not None:
+                    contribution[id(edge.cond)] = edge.cond
+                if incoming is None:
+                    incoming = contribution
+                else:
+                    incoming = {key: value
+                                for key, value in incoming.items()
+                                if key in contribution}
+            if incoming is None:
+                continue
+            if facts[block_id] is None or \
+                    set(facts[block_id] or {}) != set(incoming):
+                facts[block_id] = incoming
+                changed = True
+    result: Dict[int, List[ast.expr]] = {}
+    every_test = [edge.cond for edge in cfg.edges
+                  if edge.cond is not None]
+    for block_id in ordered:
+        block_facts = facts[block_id]
+        if block_facts is None:
+            result[block_id] = list(every_test)
+        else:
+            result[block_id] = list(block_facts.values())
+    return result
+
+
+@dataclass
+class FunctionAnalysis:
+    """CFG + solved dataflow for one function, built on demand."""
+
+    cfg: CFG
+    reaching: ReachingDefs
+    guards: Dict[int, List[ast.expr]]
+
+    def dominating_tests(self, stmt: ast.stmt) -> List[ast.expr]:
+        block_id = self.cfg.block_of.get(id(stmt))
+        if block_id is None:
+            return []
+        return self.guards.get(block_id, [])
+
+
+def analyze_function(func: FunctionNode) -> FunctionAnalysis:
+    cfg = build_cfg(func)
+    return FunctionAnalysis(cfg=cfg, reaching=ReachingDefs(cfg),
+                            guards=guard_facts(cfg))

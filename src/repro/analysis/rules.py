@@ -232,6 +232,9 @@ class WallClockRule(Rule):
         "repro.harness.figures",
         "repro.harness.perfbench",
         "repro.harness.report",
+        # per-rule lint timings are telemetry printed in the report,
+        # never simulated state
+        "repro.analysis.runner",
     )
 
     _CLOCK_FUNCS = frozenset({
@@ -667,6 +670,15 @@ class MutableDefaultRule(Rule):
 
 # --------------------------------------------------------------------------
 
+# Tier-2 dataflow rules (CFG + reaching-defs + guard dominance; see
+# docs/analysis.md "Dataflow rules").  Imported at the bottom so the
+# syntactic rules above stay dependency-free.
+from .rules_capacity import GuardedCapacityRule        # noqa: E402
+from .rules_paradigm import ParadigmConformanceRule    # noqa: E402
+from .rules_process import ProcessSafetyRule           # noqa: E402
+from .rules_purity import LevelGatingPurityRule        # noqa: E402
+from .rules_timing import CycleMonotonicityRule        # noqa: E402
+
 ALL_RULES = (
     UnseededRandomRule(),
     SetIterationRule(),
@@ -676,6 +688,12 @@ ALL_RULES = (
     FloatIntoCounterRule(),
     ImportLayeringRule(),
     MutableDefaultRule(),
+    # dataflow tier
+    LevelGatingPurityRule(),
+    CycleMonotonicityRule(),
+    ProcessSafetyRule(),
+    GuardedCapacityRule(),
+    ParadigmConformanceRule(),
 )
 
 

@@ -1,0 +1,160 @@
+"""API002 — pipeline paradigm conformance (dataflow tier).
+
+ROADMAP item 4 turns fetch paradigms into plugins; PAPERS.md already
+queues two (VIFR, HLPM fetch).  A new pipeline class that forgets part
+of the hook/gauge surface works fine at obs_level 0 and then crashes
+(or silently reports nothing) the first time someone attaches an
+observer — a harness audit today, a lint-checked contract here.
+
+Checks, per class named ``*Pipeline`` or transitively inheriting one:
+
+* the full hook surface exists (own or inherited in-project):
+  ``attach_verifier``, ``attach_observer``, ``obs_gauges``, ``run``,
+  ``_mode_name``;
+* an ``obs_gauges`` override extends ``super().obs_gauges()`` rather
+  than replacing it (dropping the base gauges breaks every dashboard);
+* ``_mode_name`` returns a string literal, and when the harness mode
+  registry (a module-level ``MODES`` tuple) is visible, the literal is
+  registered in it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from .core import Finding, ProjectRule
+from .callgraph import ClassInfo, ProjectContext
+
+__all__ = ["ParadigmConformanceRule"]
+
+_REQUIRED_METHODS = ("attach_verifier", "attach_observer", "obs_gauges",
+                     "run", "_mode_name")
+
+
+class ParadigmConformanceRule(ProjectRule):
+    id = "API002"
+    name = "pipeline paradigm conformance"
+    rationale = (
+        "Every pipeline class must implement the full hook/gauge "
+        "surface (attach_verifier, attach_observer, obs_gauges, run, "
+        "_mode_name) and keep obs_gauges additive over its base, so "
+        "adding a fetch paradigm is a lint-checked contract instead "
+        "of a harness audit.")
+
+    def check_project(self,
+                      project: ProjectContext) -> Iterator[Finding]:
+        for _name, infos in sorted(project.classes.items()):
+            for cls in infos:
+                if self._is_pipeline(project, cls):
+                    yield from self._check_class(project, cls)
+
+    # ------------------------------------------------------------------
+    def _is_pipeline(self, project: ProjectContext,
+                     cls: ClassInfo) -> bool:
+        if cls.name.endswith("Pipeline"):
+            return True
+        return any(base.name.endswith("Pipeline")
+                   for base in project.resolve_bases(cls))
+
+    def _check_class(self, project: ProjectContext,
+                     cls: ClassInfo) -> Iterator[Finding]:
+        missing: List[str] = []
+        if _all_bases_resolved(project, cls):
+            # with an unresolved base (outside the linted file set) the
+            # surface may be inherited from code we cannot see — a
+            # partial-tree lint must not claim it is missing
+            for required in _REQUIRED_METHODS:
+                if project.lookup_method(cls, required) is None:
+                    missing.append(required)
+        if missing:
+            yield cls.ctx.finding(
+                self, cls.node,
+                f"pipeline class `{cls.name}` is missing the "
+                f"hook/gauge surface: {', '.join(missing)} "
+                f"(see docs/analysis.md#api002)")
+        yield from self._check_obs_gauges(project, cls)
+        yield from self._check_mode_name(project, cls)
+
+    def _check_obs_gauges(self, project: ProjectContext,
+                          cls: ClassInfo) -> Iterator[Finding]:
+        own = cls.methods.get("obs_gauges")
+        if own is None:
+            return
+        overrides = any("obs_gauges" in base.methods
+                        for base in project.resolve_bases(cls))
+        if not overrides:
+            return                      # root definition
+        for node in ast.walk(own.node):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "obs_gauges":
+                return                  # super().obs_gauges(...) etc.
+        yield cls.ctx.finding(
+            self, own.node,
+            f"`{cls.name}.obs_gauges` overrides the base surface "
+            f"without extending super().obs_gauges() — base gauges "
+            f"would silently vanish")
+
+    def _check_mode_name(self, project: ProjectContext,
+                         cls: ClassInfo) -> Iterator[Finding]:
+        own = cls.methods.get("_mode_name")
+        if own is None:
+            return
+        literal = _returned_literal(own.node)
+        if literal is None:
+            yield cls.ctx.finding(
+                self, own.node,
+                f"`{cls.name}._mode_name` must return a string "
+                f"literal so the mode registry stays statically "
+                f"checkable")
+            return
+        modes = _declared_modes(project)
+        if modes is not None and literal not in modes:
+            yield cls.ctx.finding(
+                self, own.node,
+                f"`{cls.name}._mode_name` returns {literal!r}, which "
+                f"is not registered in the harness MODES tuple "
+                f"({', '.join(repr(m) for m in modes)})")
+
+
+def _all_bases_resolved(project: ProjectContext,
+                        cls: ClassInfo) -> bool:
+    seen: List[str] = [cls.name]
+    queue = list(cls.base_names)
+    while queue:
+        base_name = queue.pop(0)
+        if base_name in seen:
+            continue
+        seen.append(base_name)
+        bases = project.classes.get(base_name)
+        if not bases:
+            return False
+        for base in bases:
+            queue.extend(base.base_names)
+    return True
+
+
+def _returned_literal(func: ast.AST) -> Optional[str]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, str):
+                return node.value.value
+            return None
+    return None
+
+
+def _declared_modes(project: ProjectContext) -> Optional[List[str]]:
+    for module in sorted(project.module_globals):
+        binding = project.module_globals[module].get("MODES")
+        if binding is None or binding.value is None:
+            continue
+        if isinstance(binding.value, (ast.Tuple, ast.List)):
+            modes: List[str] = []
+            for element in binding.value.elts:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    modes.append(element.value)
+            return modes
+    return None

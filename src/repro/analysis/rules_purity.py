@@ -1,0 +1,226 @@
+"""PUR001 — level-gating purity (dataflow tier).
+
+The level-0 contract: with ``obs_level == 0`` / ``verify_level == 0``
+no observer, verifier, event log, or profiler object exists — the hook
+attributes are ``None`` — and results are bit-identical to a build
+with telemetry deleted.  Today that contract is enforced only after
+the fact, by pinned fingerprints.  This rule enforces it statically:
+any *use* of a hook attribute (``self.observer`` / ``self.verifier`` /
+``self.obs`` / ``self.event_log`` / ``self.profiler``, or a local
+aliasing one) must be dominated by an ``is not None`` / truthiness
+guard on that hook or by an ``obs_level``/``verify_level`` check.
+
+Allowed without a guard: storing to the hook (``attach_observer``),
+aliasing it into a local (``observer = self.observer``), and testing
+it (the guard itself).  Guards are found both on dominating CFG edges
+and inside the statement (``x.f() if x is not None else ...``,
+``x and x.f()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .core import Finding, LintContext, Rule
+from .cfg import FunctionNode, iter_function_defs, stmt_expressions
+from .dataflow import FunctionAnalysis, analyze_function
+from .semantics import analyze_guard, dotted, local_guards
+
+__all__ = ["LevelGatingPurityRule", "HOOK_ATTRS"]
+
+#: pipeline/memory attributes that are None below their obs/verify level
+HOOK_ATTRS = ("observer", "verifier", "obs", "event_log", "profiler")
+
+#: layers allowed to touch hooks freely: the hook implementations
+#: themselves, the harness that attaches them, and the CLI.
+_EXEMPT_MODULES = ("repro.obs", "repro.verify", "repro.harness",
+                   "repro.cli", "repro.analysis")
+
+
+class LevelGatingPurityRule(Rule):
+    id = "PUR001"
+    name = "level-gating purity"
+    rationale = (
+        "At obs_level/verify_level 0 the hook attributes (observer, "
+        "verifier, obs, event_log, profiler) are None and results must "
+        "be bit-identical to a telemetry-free build; an unguarded hook "
+        "use either crashes at level 0 or, worse, leaks telemetry work "
+        "into simulated state. Every hook use must be dominated by an "
+        "`is not None`/truthiness guard or a level check.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = ctx.module
+        for exempt in _EXEMPT_MODULES:
+            if module == exempt or module.startswith(exempt + "."):
+                return
+        for func in iter_function_defs(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, ctx: LintContext,
+                        func: FunctionNode) -> Iterator[Finding]:
+        analysis = analyze_function(func)
+        cfg = analysis.cfg
+        for block_id in cfg.block_ids():
+            for stmt in cfg.blocks[block_id].stmts:
+                for use, path, aliases in _hook_uses(stmt, analysis):
+                    if self._use_is_allowed(use, stmt):
+                        continue
+                    if self._is_guarded(use, stmt, analysis,
+                                        [path] + aliases):
+                        continue
+                    yield ctx.finding(
+                        self, use,
+                        f"use of hook `{path}` is not dominated by an "
+                        f"`is not None`/level guard — at level 0 this "
+                        f"is None (see docs/analysis.md#pur001)")
+
+    def _use_is_allowed(self, use: ast.AST, stmt: ast.stmt) -> bool:
+        # stores/deletes are how hooks get attached
+        use_ctx = getattr(use, "ctx", None)
+        if isinstance(use_ctx, (ast.Store, ast.Del)):
+            return True
+        # aliasing the hook into a local: `observer = self.observer`
+        if isinstance(stmt, ast.Assign) and stmt.value is use:
+            return True
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is use:
+            return True
+        # the use *is* the guard: `if self.verifier is not None:` or a
+        # bare truthiness test / comparison against None anywhere
+        if _is_none_test_operand(use, stmt):
+            return True
+        # returning the raw hook (accessors) is the caller's problem
+        if isinstance(stmt, ast.Return) and stmt.value is use:
+            return True
+        return False
+
+    def _is_guarded(self, use: ast.AST, stmt: ast.stmt,
+                    analysis: FunctionAnalysis,
+                    paths: List[str]) -> bool:
+        tests = list(analysis.dominating_tests(stmt))
+        tests.extend(local_guards(use, stmt))
+        for test in tests:
+            info = analyze_guard(test)
+            if info.checks_level:
+                return True
+            for checked in info.checked_paths:
+                if checked in paths:
+                    return True
+        return False
+
+
+def _hook_uses(stmt: ast.stmt, analysis: FunctionAnalysis
+               ) -> List[Tuple[ast.AST, str, List[str]]]:
+    """(node, display path, alias paths) for each outermost hook use
+    in *stmt*."""
+    uses: List[Tuple[ast.AST, str, List[str]]] = []
+
+    def visit(node: ast.AST) -> None:
+        resolved = _resolve_hook(node, stmt, analysis)
+        if resolved is not None:
+            uses.append((node, resolved[0], resolved[1]))
+            return          # outermost hook expression only
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for root in _expression_roots(stmt):
+        visit(root)
+    return uses
+
+
+def _expression_roots(stmt: ast.stmt) -> List[ast.expr]:
+    roots: List[ast.expr] = []
+    for _name, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            roots.append(value)
+        elif isinstance(value, list):
+            roots.extend(v for v in value if isinstance(v, ast.expr))
+    return roots
+
+
+def _resolve_hook(node: ast.AST, stmt: ast.stmt,
+                  analysis: FunctionAnalysis, depth: int = 3
+                  ) -> Optional[Tuple[str, List[str]]]:
+    """If *node* denotes a hook, return (display path, alias paths)."""
+    if depth <= 0:
+        return None
+    if isinstance(node, ast.Attribute) and node.attr in HOOK_ATTRS:
+        receiver = node.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                path = f"self.{node.attr}"
+                return path, [path]
+            inner = _resolve_hook_name(receiver, stmt, analysis,
+                                       depth - 1)
+            if inner is not None:
+                path = f"{receiver.id}.{node.attr}"
+                return path, [path]
+        return None
+    if isinstance(node, ast.Name) and isinstance(
+            getattr(node, "ctx", None), ast.Load):
+        resolved = _resolve_hook_name(node, stmt, analysis, depth)
+        if resolved is not None:
+            return node.id, [node.id] + resolved
+    return None
+
+
+def _resolve_hook_name(name: ast.Name, stmt: ast.stmt,
+                       analysis: FunctionAnalysis,
+                       depth: int) -> Optional[List[str]]:
+    """Alias paths if local *name* is derived from a hook attribute
+    (and not from a parameter — injected hooks are the caller's
+    opt-in).  ``None`` when the name is not hook-derived."""
+    if depth <= 0:
+        return None
+    alias_paths: List[str] = []
+    hooky = False
+    for source in analysis.reaching.name_sources(name, stmt):
+        if source is name:
+            continue
+        if isinstance(source, ast.Name):
+            continue
+        resolved = _resolve_hook(source, stmt, analysis, depth - 1)
+        if resolved is not None:
+            hooky = True
+            for path in resolved[1]:
+                if path not in alias_paths:
+                    alias_paths.append(path)
+    if not hooky:
+        return None
+    for definition in analysis.reaching.at(stmt, name.id):
+        if definition.is_param:
+            return None
+    return alias_paths
+
+
+def _is_none_test_operand(use: ast.AST, stmt: ast.stmt) -> bool:
+    """True if *use* is an operand of a None comparison or sits in a
+    boolean-test position within *stmt*."""
+    # direct test of an If/While: `if self.observer:`
+    test = getattr(stmt, "test", None)
+    if test is not None:
+        if use is test:
+            return True
+        for node in ast.walk(test):
+            if isinstance(node, ast.Compare) and _compares_none(node,
+                                                                use):
+                return True
+            if isinstance(node, ast.BoolOp) and use in node.values:
+                return True
+    for node in stmt_expressions(stmt):
+        if isinstance(node, ast.Compare) and _compares_none(node, use):
+            return True
+        if isinstance(node, ast.IfExp) and use is node.test:
+            return True
+        if isinstance(node, ast.BoolOp) and use in node.values:
+            return True
+    return False
+
+
+def _compares_none(compare: ast.Compare, use: ast.AST) -> bool:
+    operands = [compare.left] + list(compare.comparators)
+    if use not in operands:
+        return False
+    return any(isinstance(op, ast.Constant) and op.value is None
+               for op in operands)

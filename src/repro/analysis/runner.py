@@ -3,24 +3,50 @@
 ``lint_paths`` is the programmatic entry point (the tier-1 repo-clean
 test calls it directly); ``main`` backs both ``python -m repro.analysis``
 and the ``repro-sim lint`` subcommand.
+
+v2 drives two rule tiers: per-file syntactic rules run module by
+module; :class:`~repro.analysis.core.ProjectRule` subclasses run once
+over a :class:`~repro.analysis.callgraph.ProjectContext` built from
+every parsed file.  The runner also tracks per-rule wall time (printed
+with ``--timings``; the CI lint job budgets the total) and
+unused-suppression warnings (directives that no longer suppress any
+finding of a rule that ran).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline
-from .core import Finding, LintContext, Rule, module_name_for, \
-    parse_suppressions
-from .report import render_json, render_text
+from .callgraph import build_project
+from .core import Finding, LintContext, ProjectRule, Rule, \
+    module_name_for, parse_suppressions
+from .report import render_json, render_sarif, render_text
 from .rules import ALL_RULES, rule_by_id
 
-__all__ = ["LintReport", "lint_paths", "lint_source", "main"]
+__all__ = ["LintReport", "UnusedSuppression", "changed_files",
+           "lint_paths", "lint_source", "main"]
+
+
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A ``# simlint: disable`` directive that suppressed nothing."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: unused suppression for "
+                f"{', '.join(self.rules)} — no finding here; remove "
+                f"the directive")
 
 
 @dataclass
@@ -33,6 +59,10 @@ class LintReport:
     stale_baseline: List[str] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: rule id -> wall-clock seconds spent in that rule
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
+    unused_suppressions: List[UnusedSuppression] = \
+        field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -81,13 +111,20 @@ def lint_source(source: str, rules: Optional[Sequence[Rule]] = None,
                 path: str = "<snippet>") -> Tuple[List[Finding], int]:
     """Lint an in-memory snippet (the rule-fixture tests use this).
 
-    Returns (findings, suppressed_count).
+    Project rules see a single-file project.  Returns
+    (findings, suppressed_count).
     """
     ctx = build_context(Path(path), source, module=module)
     active: List[Finding] = []
     suppressed = 0
+    project = None
     for rule in (rules if rules is not None else ALL_RULES):
-        found, hidden = rule.run(ctx)
+        if isinstance(rule, ProjectRule):
+            if project is None:
+                project = build_project([ctx])
+            found, hidden = rule.run_project(project)
+        else:
+            found, hidden = rule.run(ctx)
         active.extend(found)
         suppressed += hidden
     active.sort(key=Finding.sort_key)
@@ -97,13 +134,22 @@ def lint_source(source: str, rules: Optional[Sequence[Rule]] = None,
 def lint_paths(paths: Sequence[Path],
                rules: Optional[Sequence[Rule]] = None,
                baseline: Optional[Baseline] = None,
-               root: Optional[Path] = None) -> LintReport:
-    """Lint files/directories; returns a :class:`LintReport`."""
+               root: Optional[Path] = None,
+               report_only: Optional[Sequence[Path]] = None
+               ) -> LintReport:
+    """Lint files/directories; returns a :class:`LintReport`.
+
+    With *report_only* (the ``--changed`` path set), every file under
+    *paths* is still parsed — project rules need the whole call graph —
+    but per-file rules run, and findings/warnings are reported, only
+    for the listed files.
+    """
     chosen = list(rules) if rules is not None else list(ALL_RULES)
     files = iter_python_files(paths)
     if root is None and len(paths) == 1 and paths[0].is_dir():
         root = paths[0].parent
     report = LintReport()
+    contexts: List[LintContext] = []
     for file_path in files:
         try:
             source = file_path.read_text(encoding="utf-8")
@@ -111,18 +157,111 @@ def lint_paths(paths: Sequence[Path],
         except (SyntaxError, UnicodeDecodeError) as exc:
             report.parse_errors.append(f"{file_path}: {exc}")
             continue
-        report.files_checked += 1
-        for rule in chosen:
+        contexts.append(ctx)
+    restrict: Optional[List[str]] = None
+    if report_only is not None:
+        wanted = {p.resolve().as_posix() for p in report_only}
+        restrict = [ctx.relpath for ctx in contexts
+                    if ctx.path.resolve().as_posix() in wanted]
+    checked = [ctx for ctx in contexts
+               if restrict is None or ctx.relpath in restrict]
+    report.files_checked = len(checked)
+
+    file_rules = [r for r in chosen if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    for rule in file_rules:
+        start = time.perf_counter()
+        for ctx in checked:
             found, hidden = rule.run(ctx)
             report.findings.extend(found)
             report.suppressed += hidden
+        report.rule_seconds[rule.id] = \
+            report.rule_seconds.get(rule.id, 0.0) + \
+            (time.perf_counter() - start)
+    if project_rules:
+        project = build_project(contexts)
+        for rule in project_rules:
+            start = time.perf_counter()
+            found, hidden = rule.run_project(project)
+            if restrict is not None:
+                found = [f for f in found if f.path in restrict]
+            report.findings.extend(found)
+            report.suppressed += hidden
+            report.rule_seconds[rule.id] = \
+                report.rule_seconds.get(rule.id, 0.0) + \
+                (time.perf_counter() - start)
     report.findings.sort(key=Finding.sort_key)
+
+    ran_ids = [rule.id for rule in chosen]
+    for ctx in checked:
+        for directive, unused_ids in ctx.suppressions.unused(ran_ids):
+            report.unused_suppressions.append(UnusedSuppression(
+                path=ctx.relpath, line=directive.line,
+                rules=tuple(unused_ids)))
+    report.unused_suppressions.sort(
+        key=lambda u: (u.path, u.line, u.rules))
+
     if baseline is not None:
         new, grandfathered, stale = baseline.filter(report.findings)
         report.findings = new
         report.grandfathered = grandfathered
         report.stale_baseline = stale
     return report
+
+
+# --------------------------------------------------------------------------
+# --changed support
+# --------------------------------------------------------------------------
+
+def _git(args: List[str], cwd: Path) -> Optional[str]:
+    try:
+        proc = subprocess.run(["git"] + args, cwd=cwd,
+                              capture_output=True, text=True)
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def changed_files(ref: Optional[str],
+                  paths: Sequence[Path]) -> Optional[List[Path]]:
+    """Python files changed vs *ref* (plus untracked ones), or None if
+    git is unavailable / no ref resolves.
+
+    With ``ref=None`` tries ``origin/main``, then ``main``, then
+    ``HEAD`` — so ``--changed`` works in fresh clones and detached CI
+    checkouts alike.
+    """
+    anchor = paths[0] if paths else Path.cwd()
+    cwd = anchor if anchor.is_dir() else anchor.parent
+    top = _git(["rev-parse", "--show-toplevel"], cwd)
+    if top is None:
+        return None
+    root = Path(top.strip())
+    candidates = [ref] if ref is not None else ["origin/main", "main",
+                                                "HEAD"]
+    resolved: Optional[str] = None
+    for candidate in candidates:
+        if candidate is not None and _git(
+                ["rev-parse", "--verify", "--quiet",
+                 candidate], root) is not None:
+            resolved = candidate
+            break
+    if resolved is None:
+        return None
+    listed = _git(["diff", "--name-only", "--diff-filter=d", resolved,
+                   "--", "*.py"], root)
+    untracked = _git(["ls-files", "--others", "--exclude-standard",
+                      "--", "*.py"], root)
+    if listed is None:
+        return None
+    names = [line.strip() for line in listed.splitlines()
+             if line.strip()]
+    if untracked is not None:
+        names.extend(line.strip() for line in untracked.splitlines()
+                     if line.strip())
+    return [root / name for name in sorted(dict.fromkeys(names))]
 
 
 # --------------------------------------------------------------------------
@@ -140,22 +279,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim lint",
         description="simlint: determinism/config/counter static analysis "
-                    "for the simulator (see docs/analysis.md)")
+                    "plus CFG/dataflow semantic rules for the simulator "
+                    "(see docs/analysis.md)")
     parser.add_argument(
         "paths", nargs="*", type=Path,
         help="files or directories to lint (default: the repro package)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         dest="output_format", help="report format (default: text)")
     parser.add_argument(
         "--select", default=None, metavar="IDS",
         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--rule", default=None, metavar="IDS",
+        help="synonym for --select (comma-separated rule ids)")
+    parser.add_argument(
+        "--changed", nargs="?", const="", default=None, metavar="REF",
+        help="lint only files changed vs REF (default: origin/main, "
+             "falling back to main, then HEAD)")
     parser.add_argument(
         "--baseline", type=Path, default=None, metavar="FILE",
         help="JSON baseline of grandfathered findings")
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="write current findings to --baseline and exit 0")
+    parser.add_argument(
+        "--sarif-out", type=Path, default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE")
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-rule wall time in the text report")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -179,17 +332,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
     rules: Optional[List[Rule]] = None
-    if args.select:
-        rules = [rule_by_id(rule_id.strip())
-                 for rule_id in args.select.split(",") if rule_id.strip()]
+    selected = args.select or args.rule
+    if selected:
+        try:
+            rules = [rule_by_id(rule_id.strip())
+                     for rule_id in selected.split(",")
+                     if rule_id.strip()]
+        except KeyError as exc:
+            print(f"simlint: {exc.args[0]}", file=sys.stderr)
+            return 2
     paths = args.paths or [default_lint_root()]
+
+    report_only: Optional[List[Path]] = None
+    if args.changed is not None:
+        ref = args.changed or None
+        report_only = changed_files(ref, paths)
+        if report_only is None:
+            print("simlint: --changed requires a git checkout with a "
+                  "resolvable ref (origin/main, main, or HEAD)",
+                  file=sys.stderr)
+            return 2
 
     if args.write_baseline:
         if args.baseline is None:
             print("--write-baseline requires --baseline FILE",
                   file=sys.stderr)
             return 2
-        report = lint_paths(paths, rules=rules)
+        report = lint_paths(paths, rules=rules,
+                            report_only=report_only)
         Baseline.from_findings(report.findings).dump(args.baseline)
         print(f"wrote {len(report.findings)} finding(s) to "
               f"{args.baseline}")
@@ -198,11 +368,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline = None
     if args.baseline is not None and args.baseline.exists():
         baseline = Baseline.load(args.baseline)
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    report = lint_paths(paths, rules=rules, baseline=baseline,
+                        report_only=report_only)
+    chosen = rules if rules is not None else list(ALL_RULES)
+    if args.sarif_out is not None:
+        args.sarif_out.write_text(render_sarif(report, chosen),
+                                  encoding="utf-8")
     if args.output_format == "json":
         print(render_json(report))
+    elif args.output_format == "sarif":
+        print(render_sarif(report, chosen))
     else:
-        print(render_text(report, verbose=args.verbose))
+        print(render_text(report, verbose=args.verbose,
+                          timings=args.timings))
     for error in report.parse_errors:
         print(f"simlint: parse error: {error}", file=sys.stderr)
     return 0 if report.clean else 1

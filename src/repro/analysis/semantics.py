@@ -1,0 +1,193 @@
+"""Shared helpers for the dataflow (tier-2) rules.
+
+Small, composable queries over expressions + a
+:class:`~repro.analysis.dataflow.FunctionAnalysis`: rendering dotted
+paths, chasing locals back to the expressions they alias, extracting
+what a branch test actually guards, and locating intra-statement
+guards (``x.f() if x is not None else ...``, ``x and x.f()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .cfg import FunctionNode, stmt_expressions
+from .dataflow import FunctionAnalysis, analyze_function
+
+__all__ = [
+    "AnalysisCache",
+    "GuardInfo",
+    "analyze_guard",
+    "dotted",
+    "expanded_dotteds",
+    "expression_texts",
+    "iter_statements",
+    "local_guards",
+    "unparse",
+]
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Render an Attribute/Name chain as ``'a.b.c'`` (else ``None``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def unparse(node: ast.AST) -> str:
+    """`ast.unparse` hardened against exotic nodes."""
+    try:
+        return ast.unparse(node)
+    except Exception:                              # pragma: no cover
+        return ast.dump(node)
+
+
+def expanded_dotteds(expr: ast.AST, analysis: FunctionAnalysis,
+                     stmt: ast.stmt) -> List[str]:
+    """Dotted paths *expr* may denote, chasing local aliases.
+
+    ``ifetch`` with ``ifetch = self.mem.ifetch`` in scope yields both
+    ``'ifetch'`` and ``'self.mem.ifetch'``.
+    """
+    paths: List[str] = []
+    direct = dotted(expr)
+    if direct is not None:
+        paths.append(direct)
+    if isinstance(expr, ast.Name):
+        for source in analysis.reaching.name_sources(expr, stmt):
+            if source is expr:
+                continue
+            resolved = dotted(source)
+            if resolved is not None and resolved not in paths:
+                paths.append(resolved)
+    return paths
+
+
+def expression_texts(expr: ast.AST, analysis: FunctionAnalysis,
+                     stmt: ast.stmt) -> List[str]:
+    """Source texts *expr* may evaluate to: the expression itself plus
+    the reaching-definition expansion of every name inside it."""
+    texts = [unparse(expr)]
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            for source in analysis.reaching.name_sources(node, stmt):
+                if source is node:
+                    continue
+                text = unparse(source)
+                if text not in texts:
+                    texts.append(text)
+    return texts
+
+
+@dataclass
+class GuardInfo:
+    """What one branch test guards."""
+
+    #: dotted paths None-compared or truthiness-tested by the guard
+    checked_paths: List[str] = field(default_factory=list)
+    #: test mentions an obs_level / verify_level comparison
+    checks_level: bool = False
+
+
+def _boolean_operands(test: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(test, ast.BoolOp):
+        for value in test.values:
+            yield from _boolean_operands(value)
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        yield from _boolean_operands(test.operand)
+    else:
+        yield test
+
+
+def analyze_guard(test: ast.expr) -> GuardInfo:
+    info = GuardInfo()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            if any(isinstance(op, ast.Constant) and op.value is None
+                   for op in operands):
+                for operand in operands:
+                    path = dotted(operand)
+                    if path is not None and \
+                            path not in info.checked_paths:
+                        info.checked_paths.append(path)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            path = dotted(node)
+            if path is not None and (
+                    "obs_level" in path or "verify_level" in path):
+                info.checks_level = True
+    for operand in _boolean_operands(test):
+        path = dotted(operand)
+        if path is not None and path not in info.checked_paths:
+            info.checked_paths.append(path)
+    return info
+
+
+def _parent_map(stmt: ast.stmt) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    # stmt_expressions already yields every expression node under the
+    # statement, parents before children.
+    for node in stmt_expressions(stmt):
+        for child in ast.iter_child_nodes(node):
+            parents.setdefault(id(child), node)
+    return parents
+
+
+def local_guards(use: ast.AST, stmt: ast.stmt) -> List[ast.expr]:
+    """Intra-statement guards covering *use*: the tests of enclosing
+    conditional expressions and the earlier operands of enclosing
+    short-circuit ``BoolOp``s (``x and x.f()``, ``x.f() if x ...``)."""
+    parents = _parent_map(stmt)
+    guards: List[ast.expr] = []
+    node: ast.AST = use
+    while True:
+        parent = parents.get(id(node))
+        if parent is None:
+            break
+        if isinstance(parent, ast.IfExp) and node is not parent.test:
+            guards.append(parent.test)
+        elif isinstance(parent, ast.BoolOp):
+            for value in parent.values:
+                if value is node:
+                    break
+                guards.append(value)
+        node = parent
+    return guards
+
+
+def iter_statements(func: FunctionNode) -> Iterator[ast.stmt]:
+    """Every statement in *func*'s body (not nested functions)."""
+    stack: List[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field_name, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+        for case in getattr(stmt, "cases", []) or []:
+            stack.extend(case.body)
+
+
+class AnalysisCache:
+    """Memoized :func:`analyze_function` keyed by node identity —
+    project rules re-visit caller functions repeatedly."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, FunctionAnalysis] = {}
+
+    def get(self, func: FunctionNode) -> FunctionAnalysis:
+        analysis = self._cache.get(id(func))
+        if analysis is None:
+            analysis = analyze_function(func)
+            self._cache[id(func)] = analysis
+        return analysis

@@ -82,7 +82,7 @@ def code_salt() -> str:
     change any result) silently invalidates the whole cache instead of
     serving stale numbers.
     """
-    global _code_salt_cache
+    global _code_salt_cache  # simlint: disable=CONC001 pure digest of on-disk code, identical in every process
     if _code_salt_cache is None:
         root = pathlib.Path(__file__).resolve().parent.parent
         digest = hashlib.sha256(ENGINE_CACHE_VERSION.encode())

@@ -62,7 +62,7 @@ def load_workload(name: str, scale: float = 1.0,
     key = (name, scale, seed)
     workload = _workload_cache.get(key)
     if workload is not None:
-        _workload_cache.move_to_end(key)
+        _workload_cache.move_to_end(key)  # simlint: disable=CONC001 LRU memo of deterministically built workloads
         return workload
     workload = get_workload(name, scale=scale, seed=seed)
     if trace_store_enabled():
@@ -70,9 +70,9 @@ def load_workload(name: str, scale: float = 1.0,
         workload.trace_loader = lambda: store.get(name, scale, seed)
         workload.trace_saver = \
             lambda trace: store.put(name, scale, seed, trace)
-    _workload_cache[key] = workload
+    _workload_cache[key] = workload  # simlint: disable=CONC001 LRU memo of deterministically built workloads
     while len(_workload_cache) > workload_cache_capacity():
-        _workload_cache.popitem(last=False)
+        _workload_cache.popitem(last=False)  # simlint: disable=CONC001 LRU eviction of the same memo
     return workload
 
 

@@ -64,7 +64,7 @@ def trace_salt() -> str:
     (kernel generators).  Timing-model edits leave the salt unchanged —
     compiled traces deliberately outlive them.
     """
-    global _trace_salt_cache
+    global _trace_salt_cache  # simlint: disable=CONC001 pure digest of on-disk code, identical in every process
     if _trace_salt_cache is None:
         root = pathlib.Path(__file__).resolve().parent.parent
         digest = hashlib.sha256(
@@ -187,7 +187,7 @@ def get_trace_store() -> TraceStore:
     Re-rooted automatically whenever ``$REPRO_CACHE_DIR`` changes, so
     tests that repoint the cache directory get a matching store.
     """
-    global _default_store
+    global _default_store  # simlint: disable=CONC001 store handle derived only from $REPRO_CACHE_DIR
     from .engine import default_cache_dir
     root = default_cache_dir() / "traces"
     if _default_store is None or _default_store.root != root:

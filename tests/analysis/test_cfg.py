@@ -1,0 +1,337 @@
+"""Unit suite for the CFG builder and dataflow solvers.
+
+Covers the shapes the semantic rules lean on: branch joins, loops,
+try/except, early returns, guard dominance (including the fall-through
+edge that makes ``if bad: return`` guard everything after the ``if``),
+reaching definitions across joins, and alias chasing through
+``name_sources``.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, iter_function_defs, \
+    stmt_expressions
+from repro.analysis.dataflow import analyze_function
+
+
+def func_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in iter_function_defs(tree):
+        if name is None or node.name == name:
+            return node
+    raise AssertionError(f"no function {name!r} in snippet")
+
+
+def stmt_at(func, needle):
+    """First statement whose source text contains *needle*."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and needle in ast.unparse(node):
+            candidates = [node]
+            # prefer the innermost simple statement
+            for child in ast.walk(node):
+                if child is not node and isinstance(child, ast.stmt) \
+                        and needle in ast.unparse(child):
+                    candidates.append(child)
+            return candidates[-1]
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+def guard_texts(analysis, stmt):
+    return [ast.unparse(t) for t in analysis.dominating_tests(stmt)]
+
+
+# ------------------------------------------------------------------ CFG
+def test_linear_function_is_one_block():
+    func = func_of("""
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+    """)
+    cfg = build_cfg(func)
+    assert cfg.block_of[id(func.body[0])] == \
+        cfg.block_of[id(func.body[1])] == cfg.block_of[id(func.body[2])]
+    assert cfg.preds(cfg.exit)
+
+
+def test_if_else_branches_get_distinct_blocks():
+    func = func_of("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+    """)
+    cfg = build_cfg(func)
+    then_stmt = stmt_at(func, "a = 1")
+    else_stmt = stmt_at(func, "a = 2")
+    ret = stmt_at(func, "return a")
+    blocks = {cfg.block_of[id(s)] for s in (then_stmt, else_stmt, ret)}
+    assert len(blocks) == 3
+    # both arms flow into the join block holding the return
+    join = cfg.block_of[id(ret)]
+    assert len(cfg.preds(join)) == 2
+
+
+def test_return_terminates_block():
+    func = func_of("""
+        def f(x):
+            if x:
+                return 0
+            y = 1
+            return y
+    """)
+    cfg = build_cfg(func)
+    ret0 = stmt_at(func, "return 0")
+    after = stmt_at(func, "y = 1")
+    # nothing flows from the returning block to the code after the if
+    ret_block = cfg.block_of[id(ret0)]
+    after_block = cfg.block_of[id(after)]
+    assert all(e.dst != after_block for e in cfg.succs(ret_block))
+    assert any(e.dst == cfg.exit for e in cfg.succs(ret_block))
+
+
+def test_unreachable_code_still_has_a_block():
+    func = func_of("""
+        def f(x):
+            return x
+            y = 1
+    """)
+    cfg = build_cfg(func)
+    dead = stmt_at(func, "y = 1")
+    dead_block = cfg.block_of[id(dead)]
+    assert not cfg.preds(dead_block)
+
+
+# ------------------------------------------------ guard dominance
+def test_statement_inside_if_is_dominated_by_test():
+    func = func_of("""
+        def f(self):
+            if self.observer is not None:
+                self.observer.on_tick()
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "on_tick")
+    assert guard_texts(analysis, use) == ["self.observer is not None"]
+
+
+def test_early_return_guards_the_rest_of_the_function():
+    func = func_of("""
+        def f(self):
+            if self.observer is None:
+                return
+            self.observer.on_tick()
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "on_tick")
+    assert "self.observer is None" in guard_texts(analysis, use)
+
+
+def test_raise_guard_dominates_like_return():
+    func = func_of("""
+        def push(self, item):
+            if self.full:
+                raise OverflowError
+            self.q.append(item)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "append")
+    assert "self.full" in guard_texts(analysis, use)
+
+
+def test_sibling_branch_does_not_guard_the_other_arm():
+    func = func_of("""
+        def f(self, x):
+            if x > 0:
+                a = 1
+            if self.ok:
+                b = 2
+            self.touch()
+    """)
+    analysis = analyze_function(func)
+    inner = stmt_at(func, "b = 2")
+    texts = guard_texts(analysis, inner)
+    assert "self.ok" in texts
+    assert "x > 0" in texts     # loose dominance: test on every path
+    first = stmt_at(func, "a = 1")
+    assert guard_texts(analysis, first) == ["x > 0"]
+
+
+def test_while_body_is_dominated_by_loop_test():
+    func = func_of("""
+        def f(self):
+            while self.has_room():
+                self.q.append(1)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "append")
+    assert guard_texts(analysis, use) == ["self.has_room()"]
+
+
+def test_for_body_is_not_guarded():
+    func = func_of("""
+        def f(self, xs):
+            for x in xs:
+                self.q.append(x)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "append")
+    assert guard_texts(analysis, use) == []
+
+
+def test_except_handler_does_not_inherit_body_guards():
+    func = func_of("""
+        def f(self):
+            try:
+                if self.ok:
+                    risky()
+            except ValueError:
+                handle()
+    """)
+    analysis = analyze_function(func)
+    handler_stmt = stmt_at(func, "handle()")
+    assert guard_texts(analysis, handler_stmt) == []
+
+
+def test_assert_guards_following_statements():
+    func = func_of("""
+        def f(self, n):
+            assert n < self.capacity
+            self.q.append(n)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "append")
+    assert guard_texts(analysis, use) == ["n < self.capacity"]
+
+
+def test_break_guard_shape_in_infinite_loop():
+    func = func_of("""
+        def f(self):
+            while True:
+                reason = self.block_reason()
+                if reason is not None:
+                    break
+                self.q.append(1)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "append")
+    assert "reason is not None" in guard_texts(analysis, use)
+
+
+# ------------------------------------------------ reaching definitions
+def test_both_branch_defs_reach_the_join():
+    func = func_of("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+    """)
+    analysis = analyze_function(func)
+    ret = stmt_at(func, "return a")
+    defs = analysis.reaching.at(ret, "a")
+    values = sorted(ast.unparse(d.value) for d in defs
+                    if d.value is not None)
+    assert values == ["1", "2"]
+
+
+def test_redefinition_kills_earlier_def_in_straight_line():
+    func = func_of("""
+        def f():
+            a = 1
+            a = 2
+            return a
+    """)
+    analysis = analyze_function(func)
+    ret = stmt_at(func, "return a")
+    defs = analysis.reaching.at(ret, "a")
+    assert [ast.unparse(d.value) for d in defs] == ["2"]
+
+
+def test_parameter_reaches_until_shadowed():
+    func = func_of("""
+        def f(cycle):
+            use(cycle)
+            cycle = 0
+            use(cycle)
+    """)
+    analysis = analyze_function(func)
+    first = func.body[0]
+    assert [d.is_param for d in analysis.reaching.at(first, "cycle")] \
+        == [True]
+    last = func.body[2]
+    defs = analysis.reaching.at(last, "cycle")
+    assert len(defs) == 1 and not defs[0].is_param
+
+
+def test_loop_body_sees_defs_from_prior_iteration():
+    func = func_of("""
+        def f(xs):
+            total = 0
+            for x in xs:
+                use(total)
+                total = total + x
+            return total
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "use(total)")
+    values = sorted(ast.unparse(d.value) for d in
+                    analysis.reaching.at(use, "total")
+                    if d.value is not None)
+    assert values == ["0", "total + x"]
+
+
+def test_name_sources_chase_alias_chain():
+    func = func_of("""
+        def f(self, cycle):
+            ifetch = self.mem.ifetch
+            ifetch(cycle)
+    """)
+    analysis = analyze_function(func)
+    call_stmt = stmt_at(func, "ifetch(cycle)")
+    call = call_stmt.value
+    sources = analysis.reaching.name_sources(call.func, call_stmt)
+    assert [ast.unparse(s) for s in sources] == ["self.mem.ifetch"]
+
+
+def test_name_sources_descend_conditional_alias():
+    func = func_of("""
+        def f(self, observer):
+            log = observer.event_log if observer is not None else None
+            log.append(1)
+    """)
+    analysis = analyze_function(func)
+    use = stmt_at(func, "log.append")
+    name = use.value.func.value
+    texts = sorted(ast.unparse(s) for s in
+                   analysis.reaching.name_sources(name, use))
+    assert texts == ["None", "observer.event_log"]
+
+
+def test_name_sources_handle_self_referential_defs():
+    func = func_of("""
+        def f(n):
+            n = n + 1
+            return n
+    """)
+    analysis = analyze_function(func)
+    ret = stmt_at(func, "return n")
+    # AugAssign-style redefinition is opaque; must not recurse forever
+    sources = analysis.reaching.name_sources(ret.value, ret)
+    assert sources
+
+
+# ------------------------------------------------ stmt_expressions
+def test_stmt_expressions_stay_in_the_statement():
+    func = func_of("""
+        def f(self, xs):
+            for x in compute(xs):
+                self.q.append(x)
+    """)
+    loop = func.body[0]
+    texts = [ast.unparse(n) for n in stmt_expressions(loop)
+             if isinstance(n, ast.Call)]
+    assert texts == ["compute(xs)"]   # body call belongs to the body stmt

@@ -29,10 +29,26 @@ def test_suppressions_remain_rare_and_visible():
     # Inline suppressions are allowed but counted; if this number creeps
     # up, findings are being silenced instead of fixed.  Raise it only
     # with a justification in the PR.
+    #
+    # Current budget: 3× CFG001 (sweep.py knob contract) plus 8× CONC001
+    # on deliberate per-process memoization — the workload LRU, the
+    # code/trace salt digests, the trace-store handle, and the counter-
+    # registry warn-once memo.  Each is a pure function of code/env, so
+    # sharing a worker process cannot change any result; each site
+    # carries its own one-line justification.
     report = lint_paths([_package_root()])
-    assert report.suppressed <= 6, (
+    assert report.suppressed <= 12, (
         f"{report.suppressed} inline suppressions in src/repro — "
         f"fix findings instead of suppressing them")
+
+
+def test_no_unused_suppressions_in_repo():
+    # Every directive must still be load-bearing; stale ones rot into
+    # misleading documentation.  The runner reports them as warnings —
+    # this test turns the warning into a tier-1 failure for our own tree.
+    report = lint_paths([_package_root()])
+    assert not report.unused_suppressions, "\n".join(
+        u.render() for u in report.unused_suppressions)
 
 
 def test_cli_lint_exits_zero_on_clean_tree(capsys):
@@ -84,5 +100,7 @@ def test_cli_lint_list_rules(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("DET001", "DET002", "DET003", "CFG001", "STAT001",
-                    "NUM001", "ARCH001", "API001"):
+                    "NUM001", "ARCH001", "API001",
+                    # dataflow tier (simlint v2)
+                    "PUR001", "TIME001", "CONC001", "GRD001", "API002"):
         assert rule_id in out
