@@ -168,8 +168,9 @@ class ProcessSafetyRule(ProjectRule):
 
 
 def _worker_entries(project: ProjectContext) -> List[FunctionInfo]:
-    """Functions registered as JobKind execute handlers or passed to
-    ``.submit(...)`` — discovered structurally, not by name list."""
+    """Functions that run in worker processes: JobKind execute
+    handlers, ``.submit(...)`` callables, and ``Process(target=...)``
+    entry points — discovered structurally, not by name list."""
     entry_names: List[Tuple[str, str]] = []   # (module, function name)
     for ctx in project.contexts:
         for node in ast.walk(ctx.tree):
@@ -186,12 +187,30 @@ def _worker_entries(project: ProjectContext) -> List[FunctionInfo]:
                 first = node.args[0]
                 if isinstance(first, ast.Name):
                     entry_names.append((ctx.module, first.id))
+            elif _is_process_ctor(callee):
+                # multiprocessing.Process(target=fn, ...): fn's body
+                # runs in a fresh process, same sharing rules as a pool
+                # worker (the sweep service spawns workers this way).
+                for keyword in node.keywords:
+                    if keyword.arg == "target" and \
+                            isinstance(keyword.value, ast.Name):
+                        entry_names.append((ctx.module,
+                                            keyword.value.id))
     entries: List[FunctionInfo] = []
     for module, name in entry_names:
         for info in project.functions.get(name, []):
             if info.module == module and info.class_name is None:
                 entries.append(info)
     return entries
+
+
+def _is_process_ctor(callee: ast.AST) -> bool:
+    """Matches ``Process(...)``, ``multiprocessing.Process(...)`` and
+    aliased module forms like ``mp.Process(...)``."""
+    if isinstance(callee, ast.Name):
+        return callee.id == "Process"
+    return isinstance(callee, ast.Attribute) and \
+        callee.attr == "Process"
 
 
 def _assigned_names(func: ast.AST) -> Dict[str, bool]:

@@ -68,6 +68,11 @@ JOBS_ENV = "REPRO_JOBS"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Set to a non-empty value to disable the on-disk cache entirely.
 NO_CACHE_ENV = "REPRO_NO_CACHE"
+#: Point at a service directory to route the default engine through the
+#: durable sweep service (:mod:`repro.harness.service`) instead of a
+#: one-shot process pool. Lives here (not in service.py) so the engine
+#: factory can consult it without importing the service eagerly.
+SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
 
 #: Bump to invalidate every cache entry regardless of code content.
 ENGINE_CACHE_VERSION = "1"
@@ -149,6 +154,33 @@ class Job:
         if self.config is not None:
             tag += f" cfg:{self.config.fingerprint()[:8]}"
         return tag
+
+
+def job_to_dict(job: Job) -> dict:
+    """Full reconstruction payload for *job* (not just its identity):
+    the sweep-service journal persists this so a restarted service can
+    rebuild and re-dispatch jobs it has never seen in memory."""
+    return {
+        "kind": job.kind,
+        "benchmark": job.benchmark,
+        "mode": job.mode,
+        "scale": float(job.scale),
+        "seed": int(job.seed),
+        "config": (None if job.config is None else job.config.to_dict()),
+    }
+
+
+def job_from_dict(data: dict) -> Job:
+    """Inverse of :func:`job_to_dict`; round-trips the cache key."""
+    config = data.get("config")
+    return Job(
+        benchmark=data["benchmark"],
+        mode=data.get("mode", "baseline"),
+        scale=float(data.get("scale", 1.0)),
+        seed=int(data.get("seed", DEFAULT_SEED)),
+        config=None if config is None else SimConfig.from_dict(config),
+        kind=data.get("kind", "sim"),
+    )
 
 
 def _run_sim_job(job: Job) -> SimResult:
@@ -440,13 +472,27 @@ class Engine:
 _default_engine: Optional[Engine] = None
 
 
+def _engine_from_environment(jobs=None, use_cache=None, cache=None,
+                             progress=None):
+    """Build the right engine flavor: a durable ``ServiceEngine`` when
+    ``$REPRO_SERVICE_DIR`` is set, the classic pool engine otherwise.
+    The service import is lazy to keep the dependency one-directional
+    (service.py imports this module at top level)."""
+    if os.environ.get(SERVICE_DIR_ENV):
+        from .service import ServiceEngine
+        return ServiceEngine(jobs=jobs, use_cache=use_cache,
+                             cache=cache, progress=progress)
+    return Engine(jobs=jobs, use_cache=use_cache, cache=cache,
+                  progress=progress)
+
+
 def get_engine() -> Engine:
     """The process-wide default engine (created lazily from the
     environment); all harness drivers run through it unless handed an
     explicit engine."""
     global _default_engine
     if _default_engine is None:
-        _default_engine = Engine()
+        _default_engine = _engine_from_environment()
     return _default_engine
 
 
@@ -458,8 +504,8 @@ def configure(jobs: Optional[int] = None,
     unspecified settings fall back to the environment. Returns it."""
     global _default_engine
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    _default_engine = Engine(jobs=jobs, use_cache=use_cache, cache=cache,
-                             progress=progress)
+    _default_engine = _engine_from_environment(
+        jobs=jobs, use_cache=use_cache, cache=cache, progress=progress)
     return _default_engine
 
 

@@ -1,0 +1,263 @@
+"""Fault injection for the sweep service — characterize, don't just survive.
+
+FRACTAL-style chaos layer for :mod:`repro.harness.service`: every fault
+a sweep can experience is a first-class, *seeded, deterministic* event,
+so a chaos run is exactly replayable and the service's recovery report
+can be checked against the injected schedule fault-for-fault.
+
+Fault kinds (``FaultSpec.kind``):
+
+``kill_worker``
+    The worker process dies (``os._exit``) around its ``at_job``-th job.
+    ``phase`` picks the crash window: ``"before"`` (job never starts),
+    ``"after_compute"`` (work wasted, nothing written — the pure
+    redundant-work case), or ``"torn_write"`` (dies mid result write,
+    leaving a truncated result file *and* a truncated cache entry — the
+    adversarial case for the content-addressed stores).
+
+``stall_heartbeat``
+    The worker hangs: it stops processing and stops beating. The
+    supervisor must detect the stale heartbeat, kill it, and requeue.
+
+``drop_result``
+    The worker "completes" a job but its result write is silently lost
+    (write-to-dead-disk model). The batch-completion reconciliation
+    must notice the hole and requeue exactly that job.
+
+``corrupt_journal``
+    Service-side: the ``record``-th journal append is byte-flipped on
+    disk after its fsync. In-memory state is unaffected; the *next*
+    replay must quarantine the record and still converge.
+
+Worker-side faults target a worker **slot** and fire only in the slot's
+first incarnation (a respawned replacement is healthy), so a schedule
+of k kills causes exactly k deaths. Triggers count jobs started by the
+process — never wall-clock — so schedules are machine-independent.
+
+:meth:`FaultSchedule.seeded` places faults with a ``random.Random(seed)``
+stream; the same seed, worker count, and counts give the same schedule
+on every machine. See docs/harness.md#fault-injection-knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "FaultSpec",
+    "FaultSchedule",
+    "WorkerFaultInjector",
+    "JournalFaultInjector",
+    "KIND_KILL",
+    "KIND_STALL",
+    "KIND_DROP",
+    "KIND_CORRUPT_JOURNAL",
+    "KILL_PHASES",
+]
+
+KIND_KILL = "kill_worker"
+KIND_STALL = "stall_heartbeat"
+KIND_DROP = "drop_result"
+KIND_CORRUPT_JOURNAL = "corrupt_journal"
+
+#: Crash windows for ``kill_worker``, in increasing adversarialness.
+KILL_PHASES = ("before", "after_compute", "torn_write")
+
+#: Exit status used for injected worker deaths (mirrors SIGKILL's 137).
+KILL_EXIT_STATUS = 137
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault. Workers are addressed by slot index."""
+
+    kind: str
+    worker: int = -1          # worker slot (worker-side kinds)
+    at_job: int = 0           # 0-based ordinal of the triggering job
+    phase: str = "before"     # kill_worker crash window
+    record: int = -1          # corrupt_journal: 1-based append ordinal
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSpec":
+        return cls(**{key: data[key] for key in
+                      ("kind", "worker", "at_job", "phase", "record")
+                      if key in data})
+
+    def describe(self) -> str:
+        if self.kind == KIND_CORRUPT_JOURNAL:
+            return f"{self.kind}@record{self.record}"
+        return f"{self.kind}@w{self.worker}/job{self.at_job}" + (
+            f"/{self.phase}" if self.kind == KIND_KILL else "")
+
+
+@dataclass
+class FaultSchedule:
+    """A replayable set of faults for one sweep."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @classmethod
+    def seeded(cls, seed: int, workers: int, kills: int = 0,
+               stalls: int = 0, drops: int = 0,
+               corrupt_journal: int = 0, max_job: int = 6,
+               phases: Sequence[str] = KILL_PHASES) -> "FaultSchedule":
+        """Place faults deterministically from *seed*.
+
+        At most one worker-side fault lands per slot (a dead worker
+        cannot also stall), so ``kills + stalls + drops`` must not
+        exceed ``workers``. Journal corruptions target the service and
+        have no such bound.
+        """
+        if kills + stalls + drops > workers:
+            raise ValueError(
+                f"{kills}+{stalls}+{drops} worker faults > "
+                f"{workers} worker slots")
+        rng = random.Random(seed)
+        slots = list(range(workers))
+        rng.shuffle(slots)
+        specs: List[FaultSpec] = []
+        for _ in range(kills):
+            specs.append(FaultSpec(
+                KIND_KILL, worker=slots.pop(), at_job=rng.randrange(max_job),
+                phase=rng.choice(list(phases))))
+        for _ in range(stalls):
+            specs.append(FaultSpec(
+                KIND_STALL, worker=slots.pop(),
+                at_job=rng.randrange(max_job)))
+        for _ in range(drops):
+            specs.append(FaultSpec(
+                KIND_DROP, worker=slots.pop(),
+                at_job=rng.randrange(max_job)))
+        for _ in range(corrupt_journal):
+            # Early records exist for any non-trivial sweep: every job
+            # contributes a submit record before anything else happens.
+            specs.append(FaultSpec(
+                KIND_CORRUPT_JOURNAL, record=1 + rng.randrange(
+                    max(1, 2 * max_job))))
+        return cls(specs=specs, seed=seed)
+
+    # ------------------------------------------------------------ queries
+    def for_worker(self, slot: int) -> List[FaultSpec]:
+        return [spec for spec in self.specs
+                if spec.worker == slot
+                and spec.kind in (KIND_KILL, KIND_STALL, KIND_DROP)]
+
+    def journal_records(self) -> List[int]:
+        return sorted(spec.record for spec in self.specs
+                      if spec.kind == KIND_CORRUPT_JOURNAL)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for spec in self.specs if spec.kind == kind)
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSchedule":
+        return cls(seed=data.get("seed"),
+                   specs=[FaultSpec.from_dict(item)
+                          for item in data.get("specs", [])])
+
+    def summary(self) -> Dict[str, int]:
+        return {kind: self.count(kind)
+                for kind in (KIND_KILL, KIND_STALL, KIND_DROP,
+                             KIND_CORRUPT_JOURNAL)}
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        return ", ".join(spec.describe() for spec in self.specs)
+
+
+# ---------------------------------------------------------------- workers
+class WorkerFaultInjector:
+    """Worker-side trigger evaluation.
+
+    The worker consults the injector at two points per job: when the
+    job is picked up (``on_job_start``) and after compute, before any
+    write (``on_job_computed``). Returned actions are strings the
+    worker loop acts on; ``None`` means proceed normally.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec]):
+        self.specs = list(specs)
+        self.jobs_started = 0
+
+    def _matching(self, ordinal: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.at_job == ordinal:
+                return spec
+        return None
+
+    def on_job_start(self) -> Optional[str]:
+        """Called as the worker picks up its next job; returns
+        ``"kill"`` or ``"stall"`` for pre-compute faults."""
+        ordinal = self.jobs_started
+        self.jobs_started += 1
+        spec = self._matching(ordinal)
+        if spec is None:
+            return None
+        if spec.kind == KIND_KILL and spec.phase == "before":
+            return "kill"
+        if spec.kind == KIND_STALL:
+            return "stall"
+        return None
+
+    def on_job_computed(self) -> Optional[str]:
+        """Called after compute, before the result write; returns
+        ``"kill"``, ``"torn_write"`` or ``"drop_result"``."""
+        spec = self._matching(self.jobs_started - 1)
+        if spec is None:
+            return None
+        if spec.kind == KIND_KILL:
+            if spec.phase == "after_compute":
+                return "kill"
+            if spec.phase == "torn_write":
+                return "torn_write"
+        if spec.kind == KIND_DROP:
+            return "drop_result"
+        return None
+
+    @staticmethod
+    def die() -> None:
+        """Injected death: no cleanup, no atexit, no flushing — the
+        closest a cooperating process gets to SIGKILL."""
+        os._exit(KILL_EXIT_STATUS)
+
+
+# ---------------------------------------------------------------- journal
+class JournalFaultInjector:
+    """Service-side: corrupt the Nth journal append in place.
+
+    Installed as ``Journal.post_append``; flips bytes in the middle of
+    the just-fsynced line so the record's checksum no longer verifies.
+    The in-memory service state is untouched — only a later replay
+    observes the damage, which is exactly the bit-rot/partial-sector
+    model the journal's checksums exist for.
+    """
+
+    def __init__(self, records: Sequence[int]):
+        self.records = set(int(r) for r in records)
+        self.corrupted = 0
+
+    def __call__(self, journal, seq: int, offset: int,
+                 length: int) -> None:
+        if journal.appended not in self.records:
+            return
+        handle = journal._file()
+        handle.flush()
+        with open(journal.path, "r+b") as patch:
+            patch.seek(offset + max(1, length // 2))
+            patch.write(b"\xde\xad")
+            patch.flush()
+            os.fsync(patch.fileno())
+        self.corrupted += 1

@@ -1,0 +1,262 @@
+"""Durable append-only journal + atomic checkpoint for the sweep service.
+
+The sweep service (:mod:`repro.harness.service`) must survive being
+SIGKILLed at any instruction and resume without losing a job or running
+a completed one twice. The durability story is deliberately boring:
+
+* **Journal** — one JSON record per line, appended and fsynced. Every
+  record carries a monotonically increasing sequence number and a
+  truncated-SHA-256 checksum of its own canonical encoding, so replay
+  can tell a torn tail (the crash window of an append) and a corrupted
+  interior record (bit rot, or the fault injector) from real data.
+
+* **Replay** — :func:`replay_journal` parses the file line by line.
+  Valid records are returned in order. A corrupt or torn *tail* is cut
+  off; corrupt *interior* lines are skipped. Either way the offending
+  bytes are moved to a ``quarantine/`` sidecar file — never silently
+  deleted, never fatal — and the journal is compacted to only the
+  records that verified. Because every service-level record is
+  idempotent against the job state machine (a lost ``done`` merely
+  causes one recomputation whose result is bit-identical), quarantining
+  is always safe.
+
+* **Checkpoint** — :func:`write_checkpoint` snapshots folded state with
+  the classic temp-file + ``os.replace`` + fsync dance. A checkpoint
+  names the journal sequence number it folds up to; replay applies only
+  journal records *after* it. A corrupt checkpoint is quarantined and
+  ignored — the journal alone can rebuild state since its last
+  compaction, which only ever happens on a clean drain.
+
+Records never contain wall-clock values: replay must fold to the same
+state no matter when it runs (see docs/harness.md#the-sweep-service).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import IO, Dict, List, Optional
+
+__all__ = [
+    "Journal",
+    "JournalReplay",
+    "encode_record",
+    "decode_line",
+    "replay_journal",
+    "write_checkpoint",
+    "read_checkpoint",
+]
+
+#: Subdirectory (sibling of the journal) that receives unverifiable
+#: bytes: corrupt journal lines, torn tails, unreadable checkpoints.
+QUARANTINE_DIR = "quarantine"
+
+#: Bump on incompatible record-schema changes.
+JOURNAL_SCHEMA = 1
+
+
+def _crc(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def encode_record(record: Dict) -> str:
+    """Canonical single-line encoding of *record* with its checksum.
+
+    The checksum covers the canonical JSON of everything except the
+    ``crc`` field itself, so any single-bit flip in the stored line is
+    detected on replay.
+    """
+    body = dict(record)
+    body.pop("crc", None)
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    body["crc"] = _crc(blob.encode("utf-8"))
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> Optional[Dict]:
+    """Parse and verify one journal line; None if torn or corrupt."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    claimed = record.pop("crc")
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if _crc(blob.encode("utf-8")) != claimed:
+        return None
+    return record
+
+
+class Journal:
+    """Append-side handle on the journal file.
+
+    ``append`` assigns sequence numbers, encodes, writes one line, and
+    fsyncs, so a record either fully exists with a valid checksum or is
+    a detectable torn tail. A ``post_append`` hook (used by the fault
+    injector to corrupt freshly written records) runs after the fsync.
+    """
+
+    def __init__(self, path: os.PathLike, next_seq: int = 1,
+                 fsync: bool = True):
+        self.path = pathlib.Path(path)
+        self.next_seq = int(next_seq)
+        self.fsync = bool(fsync)
+        self.appended = 0
+        self.post_append = None   # callable(journal, seq, offset, length)
+        self._handle: Optional[IO[bytes]] = None
+
+    def _file(self) -> IO[bytes]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, record_type: str, **fields) -> int:
+        """Durably append one record; returns its sequence number."""
+        seq = self.next_seq
+        self.next_seq += 1
+        record = {"n": seq, "type": record_type, **fields}
+        line = encode_record(record) + "\n"
+        handle = self._file()
+        offset = handle.tell()
+        handle.write(line.encode("utf-8"))
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.appended += 1
+        if self.post_append is not None:
+            self.post_append(self, seq, offset, len(line))
+        return seq
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reset(self) -> None:
+        """Truncate the journal (only safe after a clean drain, when
+        every outstanding job is folded into results)."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+@dataclass
+class JournalReplay:
+    """Outcome of one journal replay."""
+
+    records: List[Dict] = field(default_factory=list)
+    corrupt_records: int = 0          # interior lines that failed the crc
+    torn_tail: bool = False           # final line was torn / corrupt
+    quarantined: Optional[pathlib.Path] = None
+    next_seq: int = 1                 # first unused sequence number
+
+
+def _quarantine(journal_path: pathlib.Path, bad_lines: List[str],
+                tag: str) -> pathlib.Path:
+    qdir = journal_path.parent / QUARANTINE_DIR
+    qdir.mkdir(parents=True, exist_ok=True)
+    # Deterministic, collision-free name per quarantine event.
+    existing = len(list(qdir.glob(f"{tag}-*.bad")))
+    path = qdir / f"{tag}-{existing:04d}.bad"
+    path.write_text("".join(bad_lines))
+    return path
+
+
+def replay_journal(path: os.PathLike,
+                   repair: bool = True) -> JournalReplay:
+    """Read, verify, and (if needed) repair the journal at *path*.
+
+    Returns every verifiable record in order. If any line fails
+    verification the journal is atomically rewritten with only the good
+    records and the bad bytes are preserved under ``quarantine/``.
+    Pass ``repair=False`` for a strictly read-only replay (``repro-sim
+    status`` runs concurrently with live services and must never
+    rewrite their journal); corruption is still counted in the result.
+    """
+    journal_path = pathlib.Path(path)
+    replay = JournalReplay()
+    try:
+        raw = journal_path.read_text(errors="replace")
+    except FileNotFoundError:
+        return replay
+    lines = raw.splitlines(keepends=True)
+    good_lines: List[str] = []
+    bad_lines: List[str] = []
+    for index, line in enumerate(lines):
+        record = decode_line(line)
+        if record is None:
+            bad_lines.append(line)
+            if index == len(lines) - 1:
+                replay.torn_tail = True
+            else:
+                replay.corrupt_records += 1
+            continue
+        replay.records.append(record)
+        good_lines.append(line if line.endswith("\n") else line + "\n")
+    if bad_lines and repair:
+        replay.quarantined = _quarantine(journal_path, bad_lines,
+                                         "journal")
+        tmp = journal_path.with_name(journal_path.name
+                                     + f".tmp{os.getpid()}")
+        tmp.write_text("".join(good_lines))
+        os.replace(tmp, journal_path)
+    if replay.records:
+        replay.next_seq = max(r.get("n", 0) for r in replay.records) + 1
+    return replay
+
+
+# ----------------------------------------------------------- checkpoint
+def write_checkpoint(path: os.PathLike, state: Dict) -> None:
+    """Atomically persist *state* (with its own checksum) to *path*."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = dict(state)
+    document["schema"] = JOURNAL_SCHEMA
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    document["crc"] = _crc(blob.encode("utf-8"))
+    tmp = target.with_name(target.name + f".tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def read_checkpoint(path: os.PathLike) -> Optional[Dict]:
+    """Load and verify a checkpoint; corrupt ones are quarantined.
+
+    Returns None when absent or unverifiable — the caller falls back to
+    a full journal replay.
+    """
+    target = pathlib.Path(path)
+    try:
+        raw = target.read_text()
+    except FileNotFoundError:
+        return None
+    try:
+        document = json.loads(raw)
+        claimed = document.pop("crc")
+        blob = json.dumps(document, sort_keys=True,
+                          separators=(",", ":"))
+        if _crc(blob.encode("utf-8")) != claimed:
+            raise ValueError("checksum mismatch")
+        if document.get("schema") != JOURNAL_SCHEMA:
+            raise ValueError("schema mismatch")
+    except (ValueError, KeyError, TypeError):
+        _quarantine(target, [raw], "checkpoint")
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        return None
+    return document

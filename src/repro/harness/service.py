@@ -1,0 +1,1120 @@
+"""Fault-tolerant sweep service: durable queue, supervised workers.
+
+PR 1's :class:`~repro.harness.engine.Engine` fans a job list over one
+``ProcessPoolExecutor`` and forgets everything when the process exits.
+This module is the long-running form ROADMAP item 1 asks for: an
+event-driven service whose whole state machine is recoverable from
+disk, whose workers are supervised and replaceable, and whose failure
+behavior is *characterized* — every retry, requeue, and missed
+heartbeat is attributed and reported, FRACTAL-style.
+
+Architecture (all file-based; clients talk to the service through its
+directory, no sockets):
+
+* **Durable queue** — every submit/dispatch/done/requeue transition is
+  appended to a checksummed journal (:mod:`repro.harness.journal`) and
+  periodically folded into an atomic checkpoint. Jobs are
+  content-addressed by the same :meth:`Job.key` the PR 1 result cache
+  uses, so a restarted service resumes warm: completed jobs are served
+  from the cache with zero recomputation, in-flight jobs are requeued.
+
+* **Supervisor** — spawns worker processes (one dispatch directory and
+  heartbeat file each), batches job dispatch, and watches both process
+  liveness and heartbeat progress. A dead or hung worker is replaced
+  and its incomplete batch is requeued against a per-job retry budget.
+
+* **Workers** — pull batch files, execute jobs through the engine's
+  ``JOB_KINDS`` registry, write results atomically (result file + the
+  shared :class:`ResultCache`), and acknowledge batches with a
+  completion marker the service reconciles against actual result
+  files — which is how silently dropped writes are caught. Workers
+  exit when their parent disappears, so a SIGKILLed service leaves no
+  zombie fleet behind.
+
+* **Fault injection** — a seeded :class:`FaultSchedule`
+  (:mod:`repro.harness.faults`) can kill workers at chosen jobs, hang
+  their heartbeats, drop or tear their result writes, and corrupt
+  journal records; the :class:`RecoveryReport` counts what actually
+  happened so chaos tests assert recovery *exactly* matches the
+  schedule.
+
+``ServiceEngine`` adapts the service to the engine interface
+(``run(jobs) -> results``), and setting ``$REPRO_SERVICE_DIR`` routes
+the default engine — and therefore every figure/sweep driver — through
+a service instead of a process pool. See docs/harness.md#the-sweep-service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..stats import Counters
+from .engine import (
+    JOB_KINDS,
+    NO_CACHE_ENV,
+    SERVICE_DIR_ENV,
+    EngineStats,
+    Job,
+    ResultCache,
+    _execute_job,
+    default_jobs,
+    job_from_dict,
+    job_to_dict,
+)
+from .faults import FaultSchedule, FaultSpec, JournalFaultInjector, \
+    WorkerFaultInjector
+from .journal import Journal, read_checkpoint, replay_journal, \
+    write_checkpoint
+
+__all__ = [
+    "SweepService",
+    "ServiceEngine",
+    "RecoveryReport",
+    "submit_to_inbox",
+    "service_status",
+    "worker_main",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_ATTEMPTS",
+    "REPORT_NAME",
+]
+
+DEFAULT_BATCH_SIZE = 4
+DEFAULT_MAX_ATTEMPTS = 4
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+DEFAULT_POLL = 0.05
+#: Journal appends between checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 64
+#: Service-loop ticks between queue-depth gauge samples.
+GAUGE_EVERY_TICKS = 10
+GAUGE_CAP = 2_000
+REPORT_NAME = "recovery_report.json"
+
+_JOB_STATES = ("pending", "running", "done", "failed")
+
+
+# ------------------------------------------------------------ directories
+class ServicePaths:
+    """Layout of a service directory (the whole client protocol)."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = pathlib.Path(root).expanduser()
+        self.journal = self.root / "journal.jsonl"
+        self.checkpoint = self.root / "checkpoint.json"
+        self.inbox = self.root / "inbox"
+        self.results = self.root / "results"
+        self.dispatch = self.root / "dispatch"
+        self.heartbeats = self.root / "hb"
+        self.stop_flag = self.root / "stop"
+        self.report = self.root / REPORT_NAME
+
+    def ensure(self) -> None:
+        for directory in (self.root, self.inbox, self.results,
+                          self.dispatch, self.heartbeats):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def worker_dir(self, worker_id: str) -> pathlib.Path:
+        return self.dispatch / worker_id
+
+
+def _atomic_write_json(path: pathlib.Path, document: Dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path: pathlib.Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+# ------------------------------------------------------------------ events
+@dataclass(frozen=True)
+class Submitted:
+    key: str
+    job: Dict
+
+
+@dataclass(frozen=True)
+class ResultReady:
+    key: str
+    document: Dict
+
+
+@dataclass(frozen=True)
+class BatchDone:
+    worker: str
+    batch: int
+    completed: List[str]
+
+
+@dataclass(frozen=True)
+class WorkerDied:
+    worker: str
+    slot: int
+    exitcode: Optional[int]
+
+
+@dataclass(frozen=True)
+class HeartbeatStalled:
+    worker: str
+    slot: int
+    stalled_seconds: float
+
+
+# ------------------------------------------------------------------ client
+def submit_to_inbox(directory: os.PathLike,
+                    jobs: Sequence[Job]) -> List[str]:
+    """Client side of submission: drop job files into ``inbox/``.
+
+    Each file is written atomically and named by the job's cache key,
+    so resubmitting is idempotent. Returns the keys in job order.
+    """
+    paths = ServicePaths(directory)
+    paths.ensure()
+    keys = []
+    for job in jobs:
+        key = job.key()
+        keys.append(key)
+        _atomic_write_json(paths.inbox / f"{key}.json",
+                           {"key": key, "job": job_to_dict(job)})
+    return keys
+
+
+def service_status(directory: os.PathLike) -> Dict:
+    """Read-only snapshot of a service directory (for ``repro-sim
+    status``): folded queue counts, worker heartbeats, report if any.
+
+    Never repairs or rewrites anything — safe to run concurrently with
+    a live service.
+    """
+    paths = ServicePaths(directory)
+    state: Dict[str, Dict] = {}
+    checkpoint = read_checkpoint(paths.checkpoint)
+    seq = 0
+    if checkpoint:
+        state.update(checkpoint.get("jobs", {}))
+        seq = int(checkpoint.get("seq", 0))
+    for record in replay_journal(paths.journal, repair=False).records:
+        if record.get("n", 0) > seq:
+            _fold_record(state, record)
+    counts = {status: 0 for status in _JOB_STATES}
+    for entry in state.values():
+        counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+    inbox = sorted(paths.inbox.glob("*.json")) \
+        if paths.inbox.is_dir() else []
+    heartbeats = {}
+    if paths.heartbeats.is_dir():
+        for hb_path in sorted(paths.heartbeats.glob("*.json")):
+            document = _read_json(hb_path)
+            if document:
+                heartbeats[document.get("worker", hb_path.stem)] = \
+                    document
+    return {
+        "directory": str(paths.root),
+        "jobs": counts,
+        "inbox": len(inbox),
+        "workers": heartbeats,
+        "report": _read_json(paths.report),
+    }
+
+
+def _fold_record(state: Dict[str, Dict], record: Dict) -> None:
+    """Apply one journal record to the folded job-state map.
+
+    Records are idempotent: folding a duplicate or a stale transition
+    (e.g. a second ``done`` after a requeue raced a late result) leaves
+    a consistent state, which is what makes quarantining corrupt
+    records safe.
+    """
+    kind = record.get("type")
+    key = record.get("key")
+    if kind == "submit" and key:
+        if key not in state:
+            state[key] = {"job": record.get("job"), "status": "pending",
+                          "attempts": 0, "worker": None,
+                          "source": None, "fp": None}
+    elif key not in state:
+        return
+    elif kind == "dispatch":
+        entry = state[key]
+        if entry["status"] == "pending":
+            entry["status"] = "running"
+            entry["worker"] = record.get("worker")
+            entry["attempts"] = int(entry.get("attempts", 0)) + 1
+    elif kind == "done":
+        entry = state[key]
+        if entry["status"] != "done":
+            entry["status"] = "done"
+            entry["source"] = record.get("source")
+            entry["fp"] = record.get("fp")
+            entry["worker"] = record.get("worker", entry.get("worker"))
+    elif kind == "requeue":
+        entry = state[key]
+        if entry["status"] == "running":
+            entry["status"] = "pending"
+            entry["worker"] = None
+    elif kind == "failed":
+        entry = state[key]
+        if entry["status"] != "done":
+            entry["status"] = "failed"
+
+
+# ---------------------------------------------------------------- report
+@dataclass
+class RecoveryReport:
+    """What happened to a sweep, fault by fault (EngineStats' sibling).
+
+    ``counters`` carries the ``service_*`` keys registered in
+    :mod:`repro.stats.registry`; the scalar fields are derived views
+    the CLI table and CI assertions read directly.
+    """
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_executed: int = 0            # fresh simulations, either side
+    jobs_from_cache: int = 0          # service- or worker-side hits
+    jobs_failed: int = 0
+    worker_deaths: int = 0
+    heartbeats_missed: int = 0
+    results_dropped: int = 0          # holes found by reconciliation
+    requeues: int = 0                 # jobs returned to pending
+    retries: int = 0                  # re-dispatches past attempt 1
+    redundant_results: int = 0        # late results for done jobs
+    journal_replays: int = 0
+    journal_corrupt_records: int = 0
+    checkpoints: int = 0
+    batches_dispatched: int = 0
+    wall_seconds: float = 0.0
+    wall_job_seconds: float = 0.0     # summed worker-side compute time
+    mean_time_to_requeue_s: float = 0.0
+    max_time_to_requeue_s: float = 0.0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    gauges: List[Dict] = field(default_factory=list)
+    gauges_dropped: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": 1,
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "executed": self.jobs_executed,
+                "from_cache": self.jobs_from_cache,
+                "failed": self.jobs_failed,
+            },
+            "recovery": {
+                "worker_deaths": self.worker_deaths,
+                "heartbeats_missed": self.heartbeats_missed,
+                "results_dropped": self.results_dropped,
+                "requeues": self.requeues,
+                "retries": self.retries,
+                "redundant_results": self.redundant_results,
+                "journal_replays": self.journal_replays,
+                "journal_corrupt_records": self.journal_corrupt_records,
+                "mean_time_to_requeue_s": self.mean_time_to_requeue_s,
+                "max_time_to_requeue_s": self.max_time_to_requeue_s,
+            },
+            "service": {
+                "checkpoints": self.checkpoints,
+                "batches_dispatched": self.batches_dispatched,
+                "wall_seconds": self.wall_seconds,
+            },
+            "faults_injected": dict(self.faults_injected),
+            "gauges": list(self.gauges),
+            "gauges_dropped": self.gauges_dropped,
+        }
+
+    def summary(self) -> str:
+        return (f"service: {self.jobs_completed}/{self.jobs_submitted} "
+                f"jobs ({self.jobs_executed} executed, "
+                f"{self.jobs_from_cache} cache), "
+                f"{self.worker_deaths} worker deaths, "
+                f"{self.heartbeats_missed} stalls, "
+                f"{self.requeues} requeues, {self.retries} retries, "
+                f"{self.wall_seconds:.1f}s wall")
+
+
+# ---------------------------------------------------------------- workers
+def worker_main(worker_id: str, root: str, cache_dir: Optional[str],
+                use_cache: bool, fault_specs: List[Dict],
+                parent_pid: int, poll: float) -> None:
+    """Worker-process entry point: pull batches, run jobs, ack.
+
+    The worker is a pure function of the batches it is handed (plus the
+    shared content-addressed caches): it holds no cross-job state, and
+    every observable write — result file, cache entry, completion
+    marker — is atomic. It exits when the stop flag appears, or
+    immediately when its parent dies (``getppid`` changes), so a
+    SIGKILLed service cannot leak a working fleet.
+    """
+    paths = ServicePaths(root)
+    my_dir = paths.worker_dir(worker_id)
+    hb_path = paths.heartbeats / f"{worker_id}.json"
+    injector = WorkerFaultInjector(
+        [FaultSpec.from_dict(item) for item in fault_specs])
+    cache = ResultCache(cache_dir) if use_cache else None
+    beat = 0
+    jobs_done = 0
+    idle_polls = 0
+    hb_idle_every = max(1, int(0.5 / poll))
+
+    def heartbeat(current: Optional[str]) -> None:
+        _atomic_write_json(hb_path, {
+            "worker": worker_id, "beat": beat, "jobs_done": jobs_done,
+            "current": current})
+
+    heartbeat(None)
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(0)                      # orphaned: service is gone
+        batch_path = _next_batch(my_dir)
+        if batch_path is None:
+            if paths.stop_flag.exists():
+                os._exit(0)
+            idle_polls += 1
+            if idle_polls % hb_idle_every == 0:
+                beat += 1
+                heartbeat(None)
+            time.sleep(poll)
+            continue
+        batch = _read_json(batch_path)
+        if batch is None:                    # torn dispatch: let the
+            time.sleep(poll)                 # service notice and requeue
+            continue
+        completed: List[str] = []
+        for item in batch["jobs"]:
+            key = item["key"]
+            action = injector.on_job_start()
+            if action == "kill":
+                injector.die()
+            if action == "stall":
+                while True:                  # simulated hang: no beats,
+                    time.sleep(poll)         # no progress, no exit
+            job = job_from_dict(item["job"])
+            result = cache.get(job) if cache is not None else None
+            executed = result is None
+            if executed:
+                result, seconds = _execute_job(job)
+            else:
+                seconds = 0.0
+            encoded = JOB_KINDS[job.kind].encode(result)
+            document = {"key": key, "kind": job.kind,
+                        "worker": worker_id, "executed": executed,
+                        "seconds": seconds, "payload": encoded}
+            action = injector.on_job_computed()
+            if action == "torn_write":
+                _torn_writes(paths, cache, job, key, document)
+                injector.die()
+            if action == "kill":
+                injector.die()
+            if action != "drop_result":
+                if executed and cache is not None:
+                    cache.put(job, result)
+                _atomic_write_json(paths.results / f"{key}.json",
+                                   document)
+            completed.append(key)            # worker *believes* it wrote
+            jobs_done += 1
+            beat += 1
+            heartbeat(key)
+        _atomic_write_json(
+            batch_path.with_suffix(".done"),
+            {"batch": batch["batch"], "completed": completed})
+        try:
+            batch_path.unlink()
+        except OSError:
+            pass
+
+
+def _next_batch(worker_dir: pathlib.Path) -> Optional[pathlib.Path]:
+    if not worker_dir.is_dir():
+        return None
+    batches = sorted(worker_dir.glob("batch-*.json"))
+    return batches[0] if batches else None
+
+
+def _torn_writes(paths: ServicePaths, cache: Optional[ResultCache],
+                 job: Job, key: str, document: Dict) -> None:
+    """The ``torn_write`` crash window: half-written result file and
+    half-written cache entry, as a crash mid-write would leave on a
+    filesystem without atomic-rename durability. Both stores must
+    detect and recover from exactly this."""
+    blob = json.dumps(document, sort_keys=True)
+    torn = blob[: len(blob) // 2]
+    (paths.results / f"{key}.json").write_text(torn)
+    if cache is not None:
+        entry = cache.path_for(job.key())
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_text(torn)
+
+
+# ---------------------------------------------------------------- service
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    def __init__(self, slot: int, incarnation: int,
+                 process: multiprocessing.Process):
+        self.slot = slot
+        self.incarnation = incarnation
+        self.process = process
+        self.worker_id = f"w{slot}.{incarnation}"
+        self.batch: Optional[int] = None      # outstanding batch id
+        self.batch_keys: List[str] = []
+        self.last_beat: int = -1
+        self.last_progress: float = time.monotonic()
+
+
+class SweepService:
+    """The long-running sweep service (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        Service directory: journal, checkpoint, inbox, per-worker
+        dispatch queues, heartbeats, results, recovery report.
+    workers:
+        Worker-process count; ``None`` reads ``$REPRO_JOBS``.
+    batch_size:
+        Jobs dispatched per batch file (amortizes scheduling and keeps
+        the requeue blast radius of one death bounded).
+    heartbeat_timeout:
+        Seconds without observable worker progress (while a batch is
+        outstanding) before the supervisor declares a stall, kills the
+        worker, and requeues its batch.
+    max_attempts:
+        Per-job retry budget; a job dispatched this many times without
+        completing is marked failed instead of requeued.
+    faults:
+        Optional :class:`FaultSchedule` for chaos runs.
+    use_cache:
+        Route results through the shared content-addressed
+        :class:`ResultCache` (warm restarts require it).
+    progress:
+        Optional callable receiving one line per notable event.
+    """
+
+    def __init__(self, directory: os.PathLike,
+                 workers: Optional[int] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 poll: float = DEFAULT_POLL,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 faults: Optional[FaultSchedule] = None,
+                 use_cache: bool = True,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.paths = ServicePaths(directory)
+        self.paths.ensure()
+        self.workers = default_jobs() if workers is None \
+            else max(1, int(workers))
+        self.batch_size = max(1, int(batch_size))
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.max_attempts = max(1, int(max_attempts))
+        self.poll = float(poll)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.faults = faults or FaultSchedule()
+        self.use_cache = bool(use_cache)
+        self.cache = cache if cache is not None else ResultCache()
+        self.progress = progress
+        self.counters = Counters()
+        self.report = RecoveryReport(
+            faults_injected=self.faults.summary())
+        self._state: Dict[str, Dict] = {}
+        self._results: Dict[str, object] = {}
+        self._handles: List[_WorkerHandle] = []
+        self._next_batch_id = 1
+        self._requeue_latencies: List[float] = []
+        self._ticks = 0
+        self._appends_since_checkpoint = 0
+        self._recover()
+        self.journal = Journal(self.paths.journal,
+                               next_seq=self._recovered_seq + 1)
+        records = self.faults.journal_records()
+        if records:
+            self.journal.post_append = JournalFaultInjector(records)
+
+    # ------------------------------------------------------------ recovery
+    def _recover(self) -> None:
+        """Fold checkpoint + journal into memory; requeue in-flight
+        jobs; verify done jobs are actually recoverable."""
+        checkpoint = read_checkpoint(self.paths.checkpoint)
+        seq = 0
+        if checkpoint:
+            self._state = dict(checkpoint.get("jobs", {}))
+            seq = int(checkpoint.get("seq", 0))
+            self._next_batch_id = int(checkpoint.get("next_batch", 1))
+        replay = replay_journal(self.paths.journal)
+        for record in replay.records:
+            if record.get("n", 0) > seq:
+                _fold_record(self._state, record)
+        self._recovered_seq = max(seq, replay.next_seq - 1)
+        if checkpoint or replay.records or replay.corrupt_records \
+                or replay.torn_tail:
+            self.counters.bump("service_journal_replays")
+        corrupt = replay.corrupt_records + (1 if replay.torn_tail else 0)
+        self.report.journal_corrupt_records += corrupt
+        # Fold results any previous incarnation's workers left behind.
+        self._scan_results(journal=False)
+        for key, entry in self._state.items():
+            if entry["status"] == "running":
+                # The service died with this job in flight.
+                entry["status"] = "pending"
+                entry["worker"] = None
+            elif entry["status"] == "done" and key not in self._results:
+                # Recoverable only through the cache; otherwise redo.
+                cached = self.cache.get(_job_of(entry)) \
+                    if self.use_cache else None
+                if cached is None:
+                    entry["status"] = "pending"
+                    entry["source"] = None
+                else:
+                    # Warm resume: completed in a previous incarnation,
+                    # served with zero recomputation.
+                    self._results[key] = cached
+                    self.counters.bump("service_jobs_completed")
+                    self.counters.bump("service_cache_hits")
+                    self.report.jobs_completed += 1
+                    self.report.jobs_from_cache += 1
+        self._clean_runtime_dirs()
+
+    def _clean_runtime_dirs(self) -> None:
+        for stale in self.paths.dispatch.glob("w*/batch-*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        for stale in self.paths.heartbeats.glob("*.json"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        try:
+            self.paths.stop_flag.unlink()
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------- submission
+    def submit_jobs(self, jobs: Sequence[Job]) -> List[str]:
+        """Submit *jobs* directly (in-process client); returns keys."""
+        keys = []
+        for job in jobs:
+            keys.append(self._submit(job.key(), job_to_dict(job)))
+        return keys
+
+    def _submit(self, key: str, job_dict: Dict) -> str:
+        if key not in self._state:
+            self.journal.append("submit", key=key, job=job_dict)
+            _fold_record(self._state, {"type": "submit", "key": key,
+                                       "job": job_dict})
+            self.counters.bump("service_jobs_submitted")
+            self._note_append()
+        return key
+
+    def _scan_inbox(self) -> List[Submitted]:
+        events = []
+        for path in sorted(self.paths.inbox.glob("*.json")):
+            document = _read_json(path)
+            if document and "key" in document and "job" in document:
+                events.append(Submitted(document["key"],
+                                        document["job"]))
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        return events
+
+    # ------------------------------------------------------------- events
+    def _scan_results(self, journal: bool = True) -> List[ResultReady]:
+        events = []
+        for path in sorted(self.paths.results.glob("*.json")):
+            document = _read_json(path)
+            if document is None:
+                # Torn result write (crash window): quarantine by
+                # deletion — the job is still pending/running and will
+                # be recomputed; nothing is lost but wasted work.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            event = ResultReady(document["key"], document)
+            events.append(event)
+            self._handle_result(event, journal=journal)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return events
+
+    def _handle_result(self, event: ResultReady,
+                       journal: bool = True) -> None:
+        entry = self._state.get(event.key)
+        if entry is None:
+            return                             # result for unknown job
+        if entry["status"] == "done":
+            self.counters.bump("service_redundant_results")
+            return
+        document = event.document
+        kind = document.get("kind", "sim")
+        try:
+            result = JOB_KINDS[kind].decode(document["payload"])
+        except Exception:
+            return                             # undecodable: recompute
+        self._results[event.key] = result
+        source = "worker" if document.get("executed") else "cache"
+        fingerprint = getattr(result, "fingerprint", None)
+        fp = fingerprint() if callable(fingerprint) else None
+        if journal:
+            self.journal.append("done", key=event.key, source=source,
+                                worker=document.get("worker"), fp=fp)
+            self._note_append()
+        _fold_record(self._state, {"type": "done", "key": event.key,
+                                   "source": source, "fp": fp,
+                                   "worker": document.get("worker")})
+        self.counters.bump("service_jobs_completed")
+        if document.get("executed"):
+            self.counters.bump("service_jobs_executed")
+            self.report.jobs_executed += 1
+            self.report.wall_job_seconds += \
+                float(document.get("seconds", 0.0))
+        else:
+            self.counters.bump("service_cache_hits")
+            self.report.jobs_from_cache += 1
+        self.report.jobs_completed += 1
+        if self.progress is not None and entry.get("attempts", 0) > 1:
+            self.progress(f"recovered {event.key[:12]} on attempt "
+                          f"{entry['attempts']}")
+
+    def _scan_batch_markers(self) -> List[BatchDone]:
+        """Reconcile completion markers against actual results: a key
+        the worker believes it completed but whose result never arrived
+        is a dropped write — requeue exactly that job."""
+        events = []
+        for handle in self._handles:
+            worker_dir = self.paths.worker_dir(handle.worker_id)
+            for marker in sorted(worker_dir.glob("batch-*.done")):
+                document = _read_json(marker)
+                if document is None:
+                    continue
+                event = BatchDone(handle.worker_id,
+                                  int(document.get("batch", -1)),
+                                  list(document.get("completed", [])))
+                events.append(event)
+                self._handle_batch_done(handle, event)
+                try:
+                    marker.unlink()
+                except OSError:
+                    pass
+        return events
+
+    def _handle_batch_done(self, handle: _WorkerHandle,
+                           event: BatchDone) -> None:
+        if handle.batch != event.batch:
+            return                              # stale marker
+        # The worker wrote results strictly before this marker, but
+        # both may have landed since this tick's result scan — rescan
+        # so only genuinely missing results count as dropped writes.
+        self._scan_results()
+        for key in handle.batch_keys:
+            entry = self._state.get(key)
+            if entry is None or entry["status"] != "running" \
+                    or entry.get("worker") != handle.worker_id:
+                continue
+            self.counters.bump("service_results_dropped")
+            self.report.results_dropped += 1
+            self._requeue(key, "result-dropped")
+        handle.batch = None
+        handle.batch_keys = []
+        handle.last_progress = time.monotonic()
+
+    # --------------------------------------------------------- supervision
+    def _spawn(self, slot: int, incarnation: int) -> _WorkerHandle:
+        worker_id = f"w{slot}.{incarnation}"
+        self.paths.worker_dir(worker_id).mkdir(parents=True,
+                                               exist_ok=True)
+        specs = [spec.to_dict() for spec in self.faults.for_worker(slot)
+                 ] if incarnation == 0 else []
+        process = multiprocessing.Process(
+            target=worker_main,
+            kwargs={"worker_id": worker_id,
+                    "root": str(self.paths.root),
+                    "cache_dir": str(self.cache.root),
+                    "use_cache": self.use_cache,
+                    "fault_specs": specs,
+                    "parent_pid": os.getpid(),
+                    "poll": self.poll},
+            daemon=True, name=f"repro-sweep-{worker_id}")
+        process.start()
+        handle = _WorkerHandle(slot, incarnation, process)
+        if self.progress is not None:
+            self.progress(f"worker {worker_id} up (pid {process.pid})")
+        return handle
+
+    def _start_workers(self) -> None:
+        if not self._handles:
+            self._handles = [self._spawn(slot, 0)
+                             for slot in range(self.workers)]
+
+    def _stop_workers(self) -> None:
+        self.paths.stop_flag.write_text("stop\n")
+        deadline = time.monotonic() + max(1.0, 40 * self.poll)
+        for handle in self._handles:
+            handle.process.join(max(0.0,
+                                    deadline - time.monotonic()))
+        for handle in self._handles:
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        self._handles = []
+
+    def _poll_supervision(self) -> List[object]:
+        """Liveness + heartbeat progress for every worker slot."""
+        events: List[object] = []
+        now = time.monotonic()
+        for index, handle in enumerate(self._handles):
+            beat = self._read_beat(handle)
+            if beat != handle.last_beat:
+                handle.last_beat = beat
+                handle.last_progress = now
+            if not handle.process.is_alive():
+                event = WorkerDied(handle.worker_id, handle.slot,
+                                   handle.process.exitcode)
+                events.append(event)
+                self._handle_worker_died(index, handle, now)
+            elif handle.batch is not None and \
+                    now - handle.last_progress > self.heartbeat_timeout:
+                event = HeartbeatStalled(
+                    handle.worker_id, handle.slot,
+                    now - handle.last_progress)
+                events.append(event)
+                self.counters.bump("service_heartbeats_missed")
+                self.report.heartbeats_missed += 1
+                handle.process.kill()
+                handle.process.join(1.0)
+                self._handle_worker_died(index, handle, now,
+                                         cause="heartbeat-stall")
+        return events
+
+    def _read_beat(self, handle: _WorkerHandle) -> int:
+        document = _read_json(
+            self.paths.heartbeats / f"{handle.worker_id}.json")
+        return int(document.get("beat", -1)) if document else -1
+
+    def _handle_worker_died(self, index: int, handle: _WorkerHandle,
+                            now: float, cause: str = "worker-death"
+                            ) -> None:
+        if cause == "worker-death":
+            self.counters.bump("service_worker_deaths")
+            self.report.worker_deaths += 1
+        if self.progress is not None:
+            self.progress(f"worker {handle.worker_id} lost ({cause}), "
+                          f"requeueing {len(handle.batch_keys)} job(s)")
+        # Late results the worker wrote before dying are folded first,
+        # so only genuinely incomplete jobs are requeued.
+        self._scan_results()
+        for key in handle.batch_keys:
+            entry = self._state.get(key)
+            if entry is not None and entry["status"] == "running" \
+                    and entry.get("worker") == handle.worker_id:
+                self._requeue(key, cause)
+        self._requeue_latencies.append(now - handle.last_progress)
+        self._handles[index] = self._spawn(handle.slot,
+                                           handle.incarnation + 1)
+
+    def _requeue(self, key: str, reason: str) -> None:
+        entry = self._state[key]
+        if entry.get("attempts", 0) >= self.max_attempts:
+            self.journal.append("failed", key=key, reason=reason)
+            _fold_record(self._state, {"type": "failed", "key": key})
+            self.report.jobs_failed += 1
+            self._note_append()
+            return
+        self.journal.append("requeue", key=key, reason=reason)
+        _fold_record(self._state, {"type": "requeue", "key": key})
+        self.counters.bump("service_requeues")
+        self.report.requeues += 1
+        self._note_append()
+
+    # ------------------------------------------------------------ dispatch
+    def _dispatch(self) -> None:
+        pending = [key for key, entry in self._state.items()
+                   if entry["status"] == "pending"]
+        if not pending:
+            return
+        cursor = 0
+        for handle in self._handles:
+            if handle.batch is not None:
+                continue
+            batch_keys: List[str] = []
+            while cursor < len(pending) and \
+                    len(batch_keys) < self.batch_size:
+                key = pending[cursor]
+                cursor += 1
+                if self._complete_from_cache(key):
+                    continue
+                batch_keys.append(key)
+            if not batch_keys:
+                continue
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            for key in batch_keys:
+                entry = self._state[key]
+                self.journal.append("dispatch", key=key,
+                                    worker=handle.worker_id,
+                                    batch=batch_id)
+                _fold_record(self._state,
+                             {"type": "dispatch", "key": key,
+                              "worker": handle.worker_id,
+                              "batch": batch_id})
+                self._note_append()
+                if entry["attempts"] > 1:
+                    self.counters.bump("service_retries")
+                    self.report.retries += 1
+            _atomic_write_json(
+                self.paths.worker_dir(handle.worker_id)
+                / f"batch-{batch_id:06d}.json",
+                {"batch": batch_id,
+                 "jobs": [{"key": key,
+                           "job": self._state[key]["job"]}
+                          for key in batch_keys]})
+            handle.batch = batch_id
+            handle.batch_keys = batch_keys
+            handle.last_progress = time.monotonic()
+            self.counters.bump("service_batches_dispatched")
+            self.report.batches_dispatched += 1
+
+    def _complete_from_cache(self, key: str) -> bool:
+        """Serve a pending job from the result cache without dispatch
+        (the warm-restart path: completed work is never redone)."""
+        if not self.use_cache:
+            return False
+        entry = self._state[key]
+        result = self.cache.get(_job_of(entry))
+        if result is None:
+            return False
+        self._results[key] = result
+        fingerprint = getattr(result, "fingerprint", None)
+        fp = fingerprint() if callable(fingerprint) else None
+        self.journal.append("done", key=key, source="cache", fp=fp)
+        _fold_record(self._state, {"type": "done", "key": key,
+                                   "source": "cache", "fp": fp})
+        self.counters.bump("service_jobs_completed")
+        self.counters.bump("service_cache_hits")
+        self.report.jobs_completed += 1
+        self.report.jobs_from_cache += 1
+        self._note_append()
+        return True
+
+    # ---------------------------------------------------------- checkpoint
+    def _note_append(self) -> None:
+        self._appends_since_checkpoint += 1
+        if self._appends_since_checkpoint >= self.checkpoint_every:
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        write_checkpoint(self.paths.checkpoint, {
+            "seq": self.journal.next_seq - 1,
+            "next_batch": self._next_batch_id,
+            "jobs": self._state,
+        })
+        self._appends_since_checkpoint = 0
+        self.counters.bump("service_checkpoints")
+        self.report.checkpoints += 1
+
+    # -------------------------------------------------------------- gauges
+    def _sample_gauges(self, force: bool = False) -> None:
+        if self._ticks % GAUGE_EVERY_TICKS and not force:
+            return
+        if len(self.report.gauges) >= GAUGE_CAP:
+            self.report.gauges_dropped += 1
+            return
+        counts = {status: 0 for status in _JOB_STATES}
+        for entry in self._state.values():
+            counts[entry["status"]] += 1
+        self.report.gauges.append({
+            "tick": self._ticks,
+            "pending": counts["pending"],
+            "running": counts["running"],
+            "done": counts["done"],
+            "failed": counts["failed"],
+            "workers_alive": sum(
+                1 for handle in self._handles
+                if handle.process.is_alive()),
+        })
+
+    # ------------------------------------------------------------ main loop
+    def _drained(self) -> bool:
+        return not any(entry["status"] in ("pending", "running")
+                       for entry in self._state.values())
+
+    def _tick(self) -> bool:
+        self._ticks += 1
+        progressed = False
+        for submitted in self._scan_inbox():
+            self._submit(submitted.key, submitted.job)
+            progressed = True
+        progressed |= bool(self._scan_results())
+        progressed |= bool(self._scan_batch_markers())
+        progressed |= bool(self._poll_supervision())
+        self._dispatch()
+        self._sample_gauges()
+        return progressed
+
+    async def _run_async(self, once: bool) -> None:
+        start = time.perf_counter()
+        self._start_workers()
+        try:
+            while True:
+                progressed = self._tick()
+                if once and self._drained():
+                    break
+                await asyncio.sleep(0 if progressed else self.poll)
+        finally:
+            self._stop_workers()
+            self.report.wall_seconds += time.perf_counter() - start
+            self._finish()
+
+    def _finish(self) -> None:
+        self._checkpoint()
+        if self._drained():
+            # Clean drain: every job is folded into the checkpoint and
+            # the caches, so the journal can be compacted away.
+            self.journal.reset()
+            self.journal.next_seq = 1
+            write_checkpoint(self.paths.checkpoint, {
+                "seq": 0, "next_batch": self._next_batch_id,
+                "jobs": self._state})
+        self.journal.close()
+        self._finalize_report()
+        _atomic_write_json(self.paths.report, self.report.to_dict())
+
+    def _finalize_report(self) -> None:
+        # Terminal queue-depth sample so even a sweep shorter than the
+        # sampling interval reports its end state.
+        self._sample_gauges(force=True)
+        report = self.report
+        counters = self.counters
+        report.jobs_submitted = len(self._state)
+        report.journal_replays = counters["service_journal_replays"]
+        report.redundant_results = counters["service_redundant_results"]
+        if self._requeue_latencies:
+            report.mean_time_to_requeue_s = (
+                sum(self._requeue_latencies)
+                / len(self._requeue_latencies))
+            report.max_time_to_requeue_s = max(self._requeue_latencies)
+
+    # -------------------------------------------------------------- public
+    def drain(self) -> Dict[str, object]:
+        """Run until every submitted job is done or failed; returns
+        ``{key: result}`` for completed jobs."""
+        asyncio.run(self._run_async(once=True))
+        # Results completed in a previous incarnation are fetched
+        # lazily from the cache.
+        for key, entry in self._state.items():
+            if entry["status"] == "done" and key not in self._results:
+                cached = self.cache.get(_job_of(entry))
+                if cached is not None:
+                    self._results[key] = cached
+        return dict(self._results)
+
+    def serve_forever(self) -> None:
+        """Run until interrupted (``repro-sim serve`` without
+        ``--once``); drains the queue and keeps watching the inbox."""
+        try:
+            asyncio.run(self._run_async(once=False))
+        except KeyboardInterrupt:
+            pass          # cleanup already ran in _run_async's finally
+
+    def failed_keys(self) -> List[str]:
+        return [key for key, entry in self._state.items()
+                if entry["status"] == "failed"]
+
+
+def _job_of(entry: Dict) -> Job:
+    return job_from_dict(entry["job"])
+
+
+# ----------------------------------------------------------- engine shim
+class ServiceEngine:
+    """Engine-interface adapter over :class:`SweepService`.
+
+    Satisfies the same contract as :class:`repro.harness.engine.Engine`
+    — ``run(jobs)`` returns results in submission order, ``stats``
+    accumulates, ``summary()`` renders one line — so every figure and
+    sweep driver can be pointed at a durable service by setting
+    ``$REPRO_SERVICE_DIR`` (see :func:`repro.harness.engine.configure`).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 jobs: Optional[int] = None,
+                 use_cache: Optional[bool] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 **service_options):
+        if directory is None:
+            directory = os.environ.get(SERVICE_DIR_ENV)
+        if not directory:
+            raise ValueError(
+                f"ServiceEngine needs a directory (argument or "
+                f"${SERVICE_DIR_ENV})")
+        self.directory = pathlib.Path(directory)
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if use_cache is None:
+            use_cache = not os.environ.get(NO_CACHE_ENV)
+        self.use_cache = bool(use_cache)
+        self.cache = cache
+        self.progress = progress
+        self.service_options = dict(service_options)
+        self.stats = EngineStats()
+        self.last_report: Optional[RecoveryReport] = None
+
+    def run(self, jobs: Sequence[Job]) -> List:
+        jobs = list(jobs)
+        service = SweepService(
+            self.directory, workers=self.jobs,
+            use_cache=self.use_cache,
+            **({"cache": self.cache} if self.cache is not None else {}),
+            progress=self.progress, **self.service_options)
+        keys = service.submit_jobs(jobs)
+        results = service.drain()
+        self.last_report = service.report
+        self.stats.total += len(jobs)
+        self.stats.executed += service.report.jobs_executed
+        self.stats.cache_hits += service.report.jobs_from_cache
+        self.stats.wall_seconds += service.report.wall_seconds
+        self.stats.job_seconds += service.report.wall_job_seconds
+        missing = [key for key in keys if key not in results]
+        if missing:
+            raise RuntimeError(
+                f"sweep service failed {len(missing)} job(s) after "
+                f"{service.max_attempts} attempts each; see "
+                f"{service.paths.report}")
+        return [results[key] for key in keys]
+
+    def summary(self) -> str:
+        stats = self.stats
+        line = (f"service-engine: {stats.total} jobs, "
+                f"{stats.cache_hits} cache hits, "
+                f"{stats.executed} simulated, "
+                f"{stats.wall_seconds:.1f}s wall "
+                f"({self.jobs} worker{'s' if self.jobs != 1 else ''}, "
+                f"dir {self.directory})")
+        if self.last_report is not None and (
+                self.last_report.worker_deaths
+                or self.last_report.heartbeats_missed
+                or self.last_report.requeues):
+            line += f" | {self.last_report.summary()}"
+        return line

@@ -30,6 +30,7 @@ See docs/observability.md for the guide.
 
 from .chrometrace import (
     export_chrome_trace,
+    export_gauge_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ObsCollector",
     "UopEvent",
     "export_chrome_trace",
+    "export_gauge_trace",
     "group_uop_events",
     "render_run_report",
     "uop_lifetimes",

@@ -256,6 +256,26 @@ def test_stat001_flags_undeclared_verify_counter():
     assert "verify_bogus_checks" in hits[0].message
 
 
+def test_stat001_allows_registered_service_counters():
+    assert not findings("STAT001", """
+        def f(self):
+            self.counters.bump("service_requeues")
+            self.counters.bump("service_retries")
+            self.counters.bump("service_heartbeats_missed")
+            self.counters.bump("service_journal_replays")
+            self.counters.bump("service_worker_deaths")
+    """)
+
+
+def test_stat001_flags_undeclared_service_counter():
+    hits = findings("STAT001", """
+        def f(self):
+            self.counters.bump("service_requeuez")
+    """)
+    assert len(hits) == 1
+    assert "service_requeuez" in hits[0].message
+
+
 def test_stat001_suppressed():
     assert suppressed_count("STAT001", """
         def f(self):

@@ -326,6 +326,40 @@ def test_conc001_follows_the_call_graph():
     assert len(hits) == 1
 
 
+def test_conc001_flags_process_target_mutating_module_state():
+    # The sweep service's worker entry point is discovered through the
+    # multiprocessing.Process(target=...) keyword, same sharing rules
+    # as a pool worker.
+    hits = findings("CONC001", """
+        import multiprocessing
+
+        _RESULTS = {}
+
+        def worker_main(worker_id, root):
+            _RESULTS[worker_id] = root
+
+        def spawn(slot):
+            return multiprocessing.Process(
+                target=worker_main, kwargs={"worker_id": slot,
+                                            "root": "/tmp"})
+    """)
+    assert len(hits) == 1 and hits[0].rule == "CONC001"
+    assert "_RESULTS" in hits[0].message
+
+
+def test_conc001_allows_clean_process_target():
+    assert not findings("CONC001", """
+        import multiprocessing
+
+        def worker_main(worker_id, root):
+            return f"{worker_id}:{root}"
+
+        def spawn(slot):
+            return multiprocessing.Process(target=worker_main,
+                                           args=(slot, "/tmp"))
+    """)
+
+
 def test_conc001_ignores_local_mutation_and_nonworker_globals():
     assert not findings("CONC001", """
         _CACHE = {}

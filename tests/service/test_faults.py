@@ -1,0 +1,243 @@
+"""Chaos suite for the sweep service's fault-injection layer.
+
+Every test runs a real sweep (real simulations, real worker processes)
+under a deterministic fault schedule and checks two things the ISSUE's
+acceptance criteria pin down: the sweep *completes bit-identically* to
+a fault-free serial run, and the recovery report *attributes* exactly
+the faults that were injected — surviving chaos is not enough, the
+service has to account for it.
+"""
+
+import pytest
+
+from repro.harness.engine import Engine, Job
+from repro.harness.faults import (
+    KIND_CORRUPT_JOURNAL,
+    KIND_DROP,
+    KIND_KILL,
+    KIND_STALL,
+    FaultSchedule,
+    FaultSpec,
+    WorkerFaultInjector,
+)
+from repro.harness.service import SweepService
+
+SMALL = 0.05
+NAMES = ("bzip", "milc")
+
+
+def make_jobs(seeds=(1, 2, 3), scale=SMALL, modes=("baseline", "cdf")):
+    return [Job(name, mode, scale=scale, seed=seed)
+            for name in NAMES for mode in modes for seed in seeds]
+
+
+def serial_fingerprints(jobs):
+    return [r.fingerprint() for r in
+            Engine(jobs=1, use_cache=False).run(jobs)]
+
+
+def run_service(tmp_path, jobs, faults, workers=3, batch_size=2,
+                heartbeat_timeout=5.0, use_cache=True):
+    service = SweepService(
+        tmp_path / "svc", workers=workers, batch_size=batch_size,
+        heartbeat_timeout=heartbeat_timeout, poll=0.02, faults=faults,
+        use_cache=use_cache,
+        cache=None if use_cache else None)
+    keys = service.submit_jobs(jobs)
+    results = service.drain()
+    return service, [results[key].fingerprint() for key in keys]
+
+
+# ------------------------------------------------------------ schedules
+def test_seeded_schedule_is_deterministic():
+    a = FaultSchedule.seeded(42, workers=4, kills=2, stalls=1, drops=1)
+    b = FaultSchedule.seeded(42, workers=4, kills=2, stalls=1, drops=1)
+    assert a.specs == b.specs
+    assert a.describe() == b.describe()
+
+
+def test_seeded_schedule_places_at_most_one_fault_per_worker():
+    schedule = FaultSchedule.seeded(7, workers=4, kills=2, stalls=1,
+                                    drops=1)
+    slots = [spec.worker for spec in schedule.specs]
+    assert len(slots) == len(set(slots)) == 4
+
+
+def test_seeded_schedule_rejects_more_faults_than_workers():
+    with pytest.raises(ValueError):
+        FaultSchedule.seeded(0, workers=2, kills=2, stalls=1)
+
+
+def test_schedule_roundtrips_through_dict():
+    schedule = FaultSchedule.seeded(9, workers=3, kills=1, drops=1,
+                                    corrupt_journal=2)
+    rebuilt = FaultSchedule.from_dict(schedule.to_dict())
+    assert rebuilt.specs == schedule.specs
+    assert rebuilt.seed == schedule.seed
+
+
+def test_injector_triggers_on_exact_job_ordinal():
+    injector = WorkerFaultInjector(
+        [FaultSpec(KIND_KILL, worker=0, at_job=2, phase="before")])
+    assert injector.on_job_start() is None        # job 0
+    assert injector.on_job_start() is None        # job 1
+    assert injector.on_job_start() == "kill"      # job 2
+
+
+# --------------------------------------------------- exact attribution
+# One fault, controlled placement: the requeue count is exactly
+# predictable (batch_size - position-in-batch jobs were in flight).
+def test_single_kill_before_requeues_exactly_the_unfinished_jobs(
+        tmp_path):
+    jobs = make_jobs()
+    reference = serial_fingerprints(jobs)
+    faults = FaultSchedule(specs=[
+        FaultSpec(KIND_KILL, worker=0, at_job=1, phase="before")])
+    service, fingerprints = run_service(tmp_path, jobs, faults,
+                                        use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 1
+    assert report.heartbeats_missed == 0
+    assert report.results_dropped == 0
+    # Batch was [job0, job1]; job0 completed, job1 died -> 1 requeue.
+    assert report.requeues == 1
+    assert report.retries == 1
+    assert report.jobs_failed == 0
+
+
+def test_single_kill_after_compute_requeues_the_whole_batch(tmp_path):
+    jobs = make_jobs()
+    reference = serial_fingerprints(jobs)
+    faults = FaultSchedule(specs=[
+        FaultSpec(KIND_KILL, worker=1, at_job=0,
+                  phase="after_compute")])
+    service, fingerprints = run_service(tmp_path, jobs, faults,
+                                        use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 1
+    # Died on job 0 of a 2-job batch before writing anything -> both
+    # jobs requeued; the computed work is pure redundancy.
+    assert report.requeues == 2
+    assert report.retries == 2
+
+
+def test_single_drop_requeues_exactly_the_dropped_job(tmp_path):
+    jobs = make_jobs()
+    reference = serial_fingerprints(jobs)
+    faults = FaultSchedule(specs=[
+        FaultSpec(KIND_DROP, worker=0, at_job=0)])
+    service, fingerprints = run_service(tmp_path, jobs, faults,
+                                        use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 0
+    assert report.results_dropped == 1
+    assert report.requeues == 1
+    assert report.retries == 1
+
+
+def test_single_stall_is_detected_and_recovered(tmp_path):
+    jobs = make_jobs(seeds=(1, 2))
+    reference = serial_fingerprints(jobs)
+    faults = FaultSchedule(specs=[
+        FaultSpec(KIND_STALL, worker=0, at_job=1)])
+    # Generous timeout: on a loaded 2-core box a *healthy* worker can
+    # be starved past a tight beat window and read as a second stall.
+    service, fingerprints = run_service(
+        tmp_path, jobs, faults, heartbeat_timeout=1.5, use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.heartbeats_missed == 1
+    assert report.worker_deaths == 0          # attributed as a stall
+    assert report.requeues >= 1
+    assert report.max_time_to_requeue_s >= 1.5
+
+
+def test_torn_write_kill_still_converges_bit_identically(tmp_path):
+    jobs = make_jobs()
+    reference = serial_fingerprints(jobs)
+    faults = FaultSchedule(specs=[
+        FaultSpec(KIND_KILL, worker=0, at_job=0, phase="torn_write")])
+    service, fingerprints = run_service(tmp_path, jobs, faults)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 1
+    assert report.requeues == 2               # whole 2-job batch
+    assert report.jobs_completed == len(jobs)
+
+
+# -------------------------------------------------------- seeded chaos
+def test_seeded_kills_of_k_workers_mid_sweep(tmp_path):
+    jobs = make_jobs(seeds=(1, 2, 3, 4))
+    reference = serial_fingerprints(jobs)
+    schedule = FaultSchedule.seeded(1234, workers=3, kills=2,
+                                    max_job=3)
+    assert schedule.count(KIND_KILL) == 2
+    service, fingerprints = run_service(tmp_path, jobs, schedule,
+                                        use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 2
+    assert report.requeues == report.retries
+    assert report.requeues >= 2
+    assert report.jobs_failed == 0
+    assert report.faults_injected == schedule.summary()
+
+
+@pytest.mark.slow
+def test_acceptance_200_jobs_survive_3_kills_bit_identically(tmp_path):
+    """ISSUE 8 acceptance: 200 jobs, >=3 seeded kills, bit-identical
+    to a fault-free serial run, fault counts exactly attributed."""
+    jobs = [Job(name, mode, scale=0.02, seed=seed)
+            for name in NAMES for mode in ("baseline", "cdf")
+            for seed in range(50)]
+    assert len(jobs) == 200
+    reference = serial_fingerprints(jobs)
+    schedule = FaultSchedule.seeded(2021, workers=4, kills=3,
+                                    max_job=6)
+    service, fingerprints = run_service(
+        tmp_path, jobs, schedule, workers=4, batch_size=4,
+        use_cache=False)
+    report = service.report
+    assert fingerprints == reference          # bit-identical
+    assert report.worker_deaths == 3          # exactly the schedule
+    assert report.heartbeats_missed == 0
+    assert report.results_dropped == 0
+    assert report.requeues == report.retries  # every loss re-ran once
+    assert report.requeues >= 3
+    assert report.jobs_failed == 0
+    assert report.jobs_completed == 200
+    assert report.faults_injected == schedule.summary()
+
+
+def test_combined_fault_kinds_in_one_sweep(tmp_path):
+    jobs = make_jobs(seeds=(1, 2, 3, 4))
+    reference = serial_fingerprints(jobs)
+    schedule = FaultSchedule.seeded(77, workers=4, kills=1, stalls=1,
+                                    drops=1, corrupt_journal=1,
+                                    max_job=2)
+    service, fingerprints = run_service(
+        tmp_path, jobs, schedule, workers=4,
+        heartbeat_timeout=1.5, use_cache=False)
+    report = service.report
+    assert fingerprints == reference
+    assert report.worker_deaths == 1
+    assert report.heartbeats_missed == 1
+    assert report.results_dropped == 1
+    assert report.jobs_completed == len(jobs)
+    # The corrupted record is damage on disk; this incarnation's state
+    # is unaffected (the next replay quarantines it -- see
+    # test_service.py restart tests).
+    assert service.journal.post_append.corrupted == 1
+
+
+def test_gauges_are_sampled_into_the_report(tmp_path):
+    jobs = make_jobs(seeds=(1,))
+    service, _ = run_service(tmp_path, jobs, None)
+    gauges = service.report.gauges
+    assert gauges, "expected queue-depth gauge samples"
+    assert set(gauges[0]) >= {"tick", "pending", "running", "done",
+                              "workers_alive"}
+    assert gauges[-1]["done"] == len(jobs)

@@ -1,0 +1,208 @@
+"""Property-style durability tests for the sweep-service journal.
+
+The contract under test (docs/harness.md#the-sweep-service): a journal
+truncated or corrupted at *any* byte — every record boundary and every
+mid-record offset — must replay without raising, without losing any
+record before the damage, and without double-reporting any job after
+the fold; damaged bytes are quarantined, never silently discarded.
+"""
+
+import json
+import pathlib
+
+from repro.harness.journal import (
+    Journal,
+    decode_line,
+    encode_record,
+    read_checkpoint,
+    replay_journal,
+    write_checkpoint,
+)
+from repro.harness.service import _fold_record
+
+
+def build_journal(path, n_jobs=4):
+    """A realistic record sequence: submit/dispatch/done per job."""
+    journal = Journal(path)
+    for index in range(n_jobs):
+        key = f"job{index:02d}"
+        journal.append("submit", key=key, job={"benchmark": "bzip"})
+        journal.append("dispatch", key=key, worker="w0.0", batch=index)
+        journal.append("done", key=key, source="worker", fp=f"fp{index}")
+    journal.close()
+    return path
+
+
+def fold(records):
+    state = {}
+    for record in records:
+        _fold_record(state, record)
+    return state
+
+
+# ----------------------------------------------------------- encoding
+def test_record_roundtrip_and_crc():
+    line = encode_record({"n": 1, "type": "submit", "key": "k"})
+    record = decode_line(line)
+    assert record == {"n": 1, "type": "submit", "key": "k"}
+
+
+def test_any_single_byte_flip_is_detected():
+    line = encode_record({"n": 7, "type": "done", "key": "abc"})
+    for index in range(len(line)):
+        flipped = line[:index] + chr(ord(line[index]) ^ 1) + \
+            line[index + 1:]
+        if flipped == line:
+            continue
+        assert decode_line(flipped) is None, f"flip at byte {index}"
+
+
+# ---------------------------------------------------------- truncation
+def test_truncation_at_every_byte_never_loses_a_preceding_record(
+        tmp_path):
+    reference = tmp_path / "ref.jsonl"
+    build_journal(reference, n_jobs=3)
+    blob = reference.read_bytes()
+    line_starts = [0]
+    for index, byte in enumerate(blob):
+        if byte == ord("\n"):
+            line_starts.append(index + 1)
+    # A record survives if all its bytes are present -- the trailing
+    # newline is not part of the record, so cutting exactly there
+    # (start - 1) still preserves it.
+    boundaries = set(line_starts) | {start - 1
+                                     for start in line_starts[1:]}
+    for cut in range(len(blob) + 1):
+        target = tmp_path / "cut" / "journal.jsonl"
+        target.parent.mkdir(exist_ok=True)
+        target.write_bytes(blob[:cut])
+        replay = replay_journal(target)
+        whole_lines = sum(1 for start in line_starts[1:]
+                          if start - 1 <= cut)
+        assert len(replay.records) == whole_lines, f"cut at byte {cut}"
+        # Sequence numbers are an intact prefix: nothing before the
+        # cut is lost and nothing is reordered.
+        assert [r["n"] for r in replay.records] == \
+            list(range(1, whole_lines + 1))
+        if cut not in boundaries:            # mid-record: torn tail
+            assert replay.torn_tail, f"cut at byte {cut}"
+            assert replay.quarantined is not None
+        # Repair leaves a journal that replays clean.
+        again = replay_journal(target)
+        assert len(again.records) == whole_lines
+        assert not again.torn_tail and again.corrupt_records == 0
+
+
+def test_fold_after_truncation_never_double_reports(tmp_path):
+    path = build_journal(tmp_path / "journal.jsonl", n_jobs=4)
+    blob = path.read_bytes()
+    for cut in range(len(blob) + 1):
+        target = tmp_path / "journal.jsonl"
+        target.write_bytes(blob[:cut])
+        state = fold(replay_journal(target).records)
+        done = [key for key, entry in state.items()
+                if entry["status"] == "done"]
+        # Every folded job appears exactly once, and a job is either
+        # done (its record survived) or recomputable — never lost.
+        assert len(done) == len(set(done))
+        for entry in state.values():
+            assert entry["status"] in ("pending", "running", "done")
+
+
+# ---------------------------------------------------------- corruption
+def test_corrupt_interior_record_is_quarantined_not_fatal(tmp_path):
+    path = build_journal(tmp_path / "journal.jsonl", n_jobs=4)
+    lines = path.read_text().splitlines(keepends=True)
+    for victim in range(len(lines)):
+        target = tmp_path / f"case{victim}" / "journal.jsonl"
+        target.parent.mkdir()
+        mangled = list(lines)
+        mangled[victim] = mangled[victim][:10] + "\xde\xad" + \
+            mangled[victim][12:]
+        target.write_text("".join(mangled))
+        replay = replay_journal(target)
+        assert len(replay.records) == len(lines) - 1
+        if victim == len(lines) - 1:
+            assert replay.torn_tail
+        else:
+            assert replay.corrupt_records == 1
+        assert replay.quarantined is not None
+        assert replay.quarantined.is_file()
+        # A corrupt 'done' merely demotes that job to a recomputable
+        # state; no other job is disturbed.
+        state = fold(replay.records)
+        assert len(state) >= 3
+
+
+def test_corrupt_done_record_means_recompute_not_loss(tmp_path):
+    path = build_journal(tmp_path / "journal.jsonl", n_jobs=3)
+    lines = path.read_text().splitlines(keepends=True)
+    # Corrupt job01's 'done' record (line index 5: 3 records per job).
+    assert json.loads(lines[5])["type"] == "done"
+    lines[5] = lines[5].replace('"crc"', '"cRc"', 1)
+    path.write_text("".join(lines))
+    state = fold(replay_journal(path).records)
+    assert state["job00"]["status"] == "done"
+    assert state["job02"]["status"] == "done"
+    # job01 folds to running (dispatch survived) -> the service demotes
+    # running jobs to pending on recovery and recomputes.
+    assert state["job01"]["status"] == "running"
+
+
+def test_readonly_replay_counts_damage_but_never_rewrites(tmp_path):
+    path = build_journal(tmp_path / "journal.jsonl", n_jobs=2)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-7])              # tear the tail
+    before = path.read_bytes()
+    replay = replay_journal(path, repair=False)
+    assert replay.torn_tail
+    assert replay.quarantined is None
+    assert path.read_bytes() == before       # untouched
+    assert not (tmp_path / "quarantine").exists()
+
+
+def test_next_seq_resumes_after_surviving_records(tmp_path):
+    path = build_journal(tmp_path / "journal.jsonl", n_jobs=2)
+    replay = replay_journal(path)
+    assert replay.next_seq == 7
+    journal = Journal(path, next_seq=replay.next_seq)
+    seq = journal.append("submit", key="late")
+    journal.close()
+    assert seq == 7
+    assert [r["n"] for r in replay_journal(path).records] == \
+        list(range(1, 8))
+
+
+# ---------------------------------------------------------- checkpoint
+def test_checkpoint_roundtrip(tmp_path):
+    target = tmp_path / "checkpoint.json"
+    state = {"seq": 12, "jobs": {"k": {"status": "done"}}}
+    write_checkpoint(target, state)
+    loaded = read_checkpoint(target)
+    assert loaded["seq"] == 12
+    assert loaded["jobs"] == {"k": {"status": "done"}}
+
+
+def test_corrupt_checkpoint_is_quarantined_and_ignored(tmp_path):
+    target = tmp_path / "checkpoint.json"
+    write_checkpoint(target, {"seq": 5, "jobs": {}})
+    blob = target.read_text()
+    for mangle in (blob[:-20], blob.replace('"seq": 5', '"seq": 6', 1),
+                   "not json at all"):
+        assert mangle != blob                # the mangle must bite
+        target.write_text(mangle)
+        assert read_checkpoint(target) is None
+        assert not target.exists()           # removed after quarantine
+        quarantined = list(
+            (tmp_path / "quarantine").glob("checkpoint-*.bad"))
+        assert quarantined
+        write_checkpoint(target, {"seq": 5, "jobs": {}})
+
+
+def test_checkpoint_atomic_write_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "checkpoint.json"
+    for round_ in range(3):
+        write_checkpoint(target, {"seq": round_, "jobs": {}})
+    leftovers = [p.name for p in tmp_path.iterdir()
+                 if p.name != "checkpoint.json"]
+    assert leftovers == []

@@ -1,0 +1,360 @@
+"""Lifecycle tests for the sweep service: the client protocol
+(inbox/status/drain), crash-restart warm resume, the engine adapter,
+and the CLI surface.
+
+The headline property (ISSUE 8 acceptance): SIGKILL the *service
+process itself* mid-sweep, restart it on the same directory, and the
+sweep finishes with zero recomputation of already-completed jobs —
+everything completed before the kill is served from the journal +
+content-addressed cache.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro import cli
+from repro.harness.engine import (
+    Engine,
+    Job,
+    configure,
+    get_engine,
+)
+from repro.harness.service import (
+    ServiceEngine,
+    ServicePaths,
+    SweepService,
+    service_status,
+    submit_to_inbox,
+)
+
+SMALL = 0.05
+NAMES = ("bzip", "milc")
+
+
+def make_jobs(seeds=(1, 2), scale=SMALL):
+    return [Job(name, mode, scale=scale, seed=seed)
+            for name in NAMES for mode in ("baseline", "cdf")
+            for seed in seeds]
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Per-test result cache so warm-resume counts are deterministic."""
+    path = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(path))
+    return path
+
+
+# -------------------------------------------------------------- protocol
+def test_inbox_submission_is_idempotent_and_keyed(tmp_path, cache_dir):
+    jobs = make_jobs(seeds=(1,))
+    keys = submit_to_inbox(tmp_path / "svc", jobs)
+    again = submit_to_inbox(tmp_path / "svc", jobs)
+    assert keys == again == [job.key() for job in jobs]
+    inbox = list((tmp_path / "svc" / "inbox").glob("*.json"))
+    assert len(inbox) == len(jobs)           # resubmits coalesced
+
+
+def test_drain_picks_up_inbox_submissions(tmp_path, cache_dir):
+    jobs = make_jobs(seeds=(1,))
+    keys = submit_to_inbox(tmp_path / "svc", jobs)
+    service = SweepService(tmp_path / "svc", workers=2, poll=0.02)
+    results = service.drain()
+    assert sorted(results) == sorted(keys)
+    assert service.report.jobs_completed == len(jobs)
+    status = service_status(tmp_path / "svc")
+    assert status["jobs"]["done"] == len(jobs)
+    assert status["inbox"] == 0
+    assert status["report"]["jobs"]["completed"] == len(jobs)
+
+
+def test_second_drain_is_pure_cache(tmp_path, cache_dir):
+    jobs = make_jobs(seeds=(1,))
+    first = SweepService(tmp_path / "svc", workers=2, poll=0.02)
+    first.submit_jobs(jobs)
+    first.drain()
+    assert first.report.jobs_executed == len(jobs)
+
+    second = SweepService(tmp_path / "svc", workers=2, poll=0.02)
+    second.submit_jobs(jobs)
+    results = second.drain()
+    assert second.report.jobs_executed == 0
+    assert second.report.jobs_from_cache == len(jobs)
+    assert len(results) == len(jobs)
+
+
+def test_recovery_report_written_and_valid_json(tmp_path, cache_dir):
+    service = SweepService(tmp_path / "svc", workers=1, poll=0.02)
+    service.submit_jobs(make_jobs(seeds=(1,)))
+    service.drain()
+    report = json.loads((tmp_path / "svc" /
+                         "recovery_report.json").read_text())
+    assert report["schema"] == 1
+    assert report["jobs"]["completed"] == report["jobs"]["submitted"]
+    assert report["recovery"]["worker_deaths"] == 0
+
+
+# ---------------------------------------------------- restart semantics
+def _run_service_child(directory, jobs, cache_env):
+    os.environ["REPRO_CACHE_DIR"] = cache_env
+    service = SweepService(directory, workers=2, batch_size=2,
+                           poll=0.02)
+    service.submit_jobs(jobs)
+    service.drain()
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="child-process service run requires fork")
+def test_sigkill_of_service_resumes_with_zero_recomputation(
+        tmp_path, cache_dir):
+    jobs = make_jobs(seeds=(1, 2, 3))
+    directory = tmp_path / "svc"
+    child = multiprocessing.Process(
+        target=_run_service_child,
+        args=(directory, jobs, str(cache_dir)))
+    child.start()
+    # Let it complete part of the sweep, then kill it dead.
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        status = service_status(directory)
+        if status["jobs"]["done"] >= 2:
+            break
+        time.sleep(0.05)
+    os.kill(child.pid, signal.SIGKILL)
+    child.join()
+    assert child.exitcode == -signal.SIGKILL
+
+    done_before = service_status(directory)["jobs"]["done"]
+    assert done_before >= 2
+
+    service = SweepService(directory, workers=2, batch_size=2,
+                           poll=0.02)
+    keys = service.submit_jobs(jobs)
+    results = service.drain()
+    report = service.report
+    assert sorted(results) == sorted(keys)
+    assert report.journal_replays == 1
+    # Zero recomputation of completed jobs: everything the journal
+    # recorded as done came back from the cache, and execution covers
+    # exactly the remainder.
+    assert report.jobs_from_cache >= done_before
+    assert report.jobs_executed == len(jobs) - report.jobs_from_cache
+    # Orphaned workers from the killed service notice their parent is
+    # gone and exit; the restarted service owns the directory alone.
+    reference = [r.fingerprint()
+                 for r in Engine(jobs=1, use_cache=False).run(jobs)]
+    assert [results[key].fingerprint() for key in keys] == reference
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="child-process service run requires fork")
+def test_corrupt_journal_from_killed_run_is_quarantined_on_restart(
+        tmp_path, cache_dir):
+    from repro.harness.faults import FaultSchedule, FaultSpec, \
+        KIND_CORRUPT_JOURNAL
+
+    jobs = make_jobs(seeds=(1, 2))
+    directory = tmp_path / "svc"
+
+    def chaos_child():
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+        faults = FaultSchedule(specs=[
+            FaultSpec(KIND_CORRUPT_JOURNAL, record=2),
+            FaultSpec(KIND_CORRUPT_JOURNAL, record=5)])
+        service = SweepService(directory, workers=2, batch_size=2,
+                               poll=0.02, faults=faults)
+        service.submit_jobs(jobs)
+        service.drain()
+
+    child = multiprocessing.Process(target=chaos_child)
+    child.start()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if service_status(directory)["jobs"]["done"] >= 1:
+            break
+        time.sleep(0.05)
+    os.kill(child.pid, signal.SIGKILL)
+    child.join()
+
+    service = SweepService(directory, workers=2, poll=0.02)
+    keys = service.submit_jobs(jobs)
+    results = service.drain()
+    # The two corrupted records were quarantined, not fatal, and no
+    # job was lost: corrupt submits are re-submitted, corrupt dones
+    # are recomputed bit-identically.
+    assert service.report.journal_corrupt_records >= 1
+    quarantine = list((directory / "quarantine").glob("journal-*.bad"))
+    assert quarantine
+    assert sorted(results) == sorted(keys)
+    reference = [r.fingerprint()
+                 for r in Engine(jobs=1, use_cache=False).run(jobs)]
+    assert [results[key].fingerprint() for key in keys] == reference
+
+
+# ------------------------------------------------------- engine adapter
+def test_service_engine_matches_pool_engine_results(tmp_path, cache_dir):
+    jobs = make_jobs(seeds=(1,))
+    reference = [r.fingerprint()
+                 for r in Engine(jobs=2, use_cache=False).run(jobs)]
+    engine = ServiceEngine(tmp_path / "svc", jobs=2)
+    results = engine.run(jobs)
+    assert [r.fingerprint() for r in results] == reference
+    assert engine.stats.total == len(jobs)
+    assert "service-engine" in engine.summary()
+
+
+def test_service_engine_duplicate_jobs_in_one_run(tmp_path, cache_dir):
+    job = Job("bzip", "baseline", scale=SMALL, seed=1)
+    engine = ServiceEngine(tmp_path / "svc", jobs=1)
+    results = engine.run([job, job, job])
+    assert len(results) == 3
+    fingerprints = {r.fingerprint() for r in results}
+    assert len(fingerprints) == 1
+
+
+def test_env_flag_routes_default_engine_through_service(
+        tmp_path, cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+    engine = configure(jobs=2)
+    assert isinstance(engine, ServiceEngine)
+    assert isinstance(get_engine(), ServiceEngine)
+    jobs = make_jobs(seeds=(1,))
+    results = engine.run(jobs)
+    assert len(results) == len(jobs)
+    monkeypatch.delenv("REPRO_SERVICE_DIR")
+    assert isinstance(configure(), Engine)   # back to the pool engine
+
+
+def test_service_engine_requires_a_directory(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_DIR", raising=False)
+    with pytest.raises(ValueError):
+        ServiceEngine()
+
+
+# ----------------------------------------------------------------- CLI
+def test_cli_submit_serve_status_roundtrip(tmp_path, cache_dir, capsys):
+    directory = str(tmp_path / "svc")
+    assert cli.main(["submit", directory, "bzip", "--modes", "baseline",
+                     "--scale", str(SMALL), "--repeat-seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "submitted 2 job(s)" in out
+
+    assert cli.main(["serve", directory, "--once", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery report" in out
+
+    assert cli.main(["status", directory]) == 0
+    out = capsys.readouterr().out
+    assert "done" in out and "2" in out
+
+
+def test_cli_drain_is_idempotent_on_a_drained_directory(
+        tmp_path, cache_dir, capsys):
+    directory = str(tmp_path / "svc")
+    cli.main(["submit", directory, "bzip", "--modes", "baseline",
+              "--scale", str(SMALL)])
+    assert cli.main(["drain", directory, "--jobs", "1"]) == 0
+    assert cli.main(["drain", directory, "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert cli.main(["status", directory]) == 0
+    assert "failed" in capsys.readouterr().out
+
+
+def test_cli_serve_with_fault_knobs(tmp_path, cache_dir, capsys):
+    directory = str(tmp_path / "svc")
+    cli.main(["submit", directory, "bzip", "milc", "--modes",
+              "baseline", "cdf", "--scale", str(SMALL),
+              "--repeat-seeds", "2"])
+    assert cli.main(["serve", directory, "--once", "--jobs", "3",
+                     "--batch-size", "2", "--fault-seed", "7",
+                     "--kills", "1"]) == 0
+    report = json.loads((tmp_path / "svc" /
+                         "recovery_report.json").read_text())
+    assert report["faults_injected"]["kill_worker"] == 1
+
+
+# ------------------------------------------------------------ supervision
+@pytest.fixture
+def poison_kind():
+    """A job kind whose execute always crashes the worker process.
+
+    Registered in the parent and inherited by forked workers, so every
+    dispatch of a poison job burns one attempt from its retry budget.
+    """
+    from repro.harness.engine import JOB_KINDS, JobKind
+
+    def explode(job):
+        raise RuntimeError("poison job: deliberate worker crash")
+
+    JOB_KINDS["poison"] = JobKind(
+        execute=explode, encode=lambda r: r, decode=lambda p: p)
+    yield "poison"
+    del JOB_KINDS["poison"]
+
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="requires fork so workers inherit the test job kind")
+
+
+@fork_only
+def test_retry_budget_exhaustion_marks_jobs_failed(tmp_path, cache_dir,
+                                                   poison_kind):
+    """A job that crashes its worker on every attempt must not wedge
+    the service: it burns its retry budget and is reported failed."""
+    service = SweepService(tmp_path / "svc", workers=1, batch_size=1,
+                           max_attempts=2, poll=0.02)
+    jobs = [Job("bzip", "baseline", scale=SMALL, seed=1,
+                kind=poison_kind)]
+    service.submit_jobs(jobs)
+    results = service.drain()
+    assert results == {}
+    assert service.failed_keys() == [jobs[0].key()]
+    assert service.report.jobs_failed == 1
+    # One worker death per attempt, and not a single death more.
+    assert service.report.worker_deaths == service.max_attempts
+    assert service.report.requeues == service.max_attempts - 1
+
+
+@fork_only
+def test_failed_jobs_do_not_poison_healthy_ones(tmp_path, cache_dir,
+                                                poison_kind):
+    healthy = make_jobs(seeds=(1,))
+    poison = Job("bzip", "baseline", scale=SMALL, seed=1,
+                 kind=poison_kind)
+    service = SweepService(tmp_path / "svc", workers=2, batch_size=1,
+                           max_attempts=2, poll=0.02)
+    keys = service.submit_jobs(healthy + [poison])
+    results = service.drain()
+    assert sorted(results) == sorted(keys[:-1])
+    assert service.failed_keys() == [poison.key()]
+    assert service.report.jobs_completed == len(healthy)
+
+
+@fork_only
+def test_service_engine_raises_on_failed_jobs(tmp_path, cache_dir,
+                                              poison_kind):
+    engine = ServiceEngine(tmp_path / "svc", jobs=1, batch_size=1,
+                           max_attempts=2, poll=0.02)
+    with pytest.raises(RuntimeError, match="failed 1 job"):
+        engine.run([Job("bzip", "baseline", scale=SMALL, seed=1,
+                        kind=poison_kind)])
+
+
+def test_paths_layout_is_the_documented_protocol(tmp_path):
+    paths = ServicePaths(tmp_path / "svc")
+    paths.ensure()
+    assert (tmp_path / "svc" / "inbox").is_dir()
+    assert (tmp_path / "svc" / "results").is_dir()
+    assert (tmp_path / "svc" / "dispatch").is_dir()
+    assert (tmp_path / "svc" / "hb").is_dir()
+    assert paths.journal.name == "journal.jsonl"
+    assert paths.checkpoint.name == "checkpoint.json"
+    assert paths.report.name == "recovery_report.json"
