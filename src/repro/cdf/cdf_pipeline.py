@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..config import SimConfig
 from ..core.pipeline import BaselinePipeline
@@ -33,7 +33,7 @@ from ..core.rob import COMPLETE, READY, WAITING, RobEntry
 from ..isa.dynuop import DynUop
 from ..isa.program import Program
 from .cct import make_branch_cct, make_load_cct
-from .fill_buffer import FillBuffer, FillBufferEntry
+from .fill_buffer import FillBuffer
 from .mask_cache import MaskCache
 from .partition import PartitionController
 from .queues import CMQEntry, CriticalMapQueue, DBQEntry, DelayedBranchQueue
@@ -112,6 +112,9 @@ class CDFPipeline(BaselinePipeline):
         self.lq_crit_used = 0
         self.sq_crit_used = 0
         self.writers_crit = 0
+        # critical-share -> non-critical PRF writer limit (see
+        # _noncrit_prf_limit)
+        self._prf_limit_memo: Dict[int, int] = {}
 
         # Replay / retirement ordering.
         self.replay_frontier = 0
@@ -220,12 +223,8 @@ class CDFPipeline(BaselinePipeline):
             # roots chains too.
             root_critical = True
             counters["longlat_roots"] += 1
-        self.fill_buffer.record(FillBufferEntry(
-            seq=uop.seq, pc=uop.pc, bb_start=self.bb_start[uop.pc],
-            dst=uop.dst if uop.writes_reg else None, srcs=uop.srcs,
-            mem_addr=uop.mem_addr, is_load=uop.is_load,
-            is_store=uop.is_store, is_branch=uop.is_branch,
-            root_critical=root_critical))
+        self.fill_buffer.record_uop(uop, self.bb_start[uop.pc],
+                                    root_critical)
 
         self._interval_retired += 1
         if entry.critical:
@@ -546,10 +545,22 @@ class CDFPipeline(BaselinePipeline):
         # the partition boundary past the *other* section's current
         # occupancy — the section then drains down to its new bound, but
         # until it does, this section's nominal headroom is not backed by
-        # free physical entries.  Allocation needs both.
-        reason = self._physical_block_reason(uop)
-        if reason is not None:
-            return reason
+        # free physical entries.  Allocation needs both.  The physical
+        # checks are _physical_block_reason inlined (same order): this is
+        # the hottest CDF dispatch predicate, evaluated once per
+        # frontend-queue head per cycle.
+        if len(self.rob) + len(self.rob_crit) >= self.rob_size:
+            return "rob"
+        if self.rs_used + self.rs_crit_used >= self.rs_size:
+            return "rs"
+        if uop.is_load and self.lq_used + self.lq_crit_used >= self.lq_size:
+            return "lq"
+        if uop.is_store \
+                and self.sq_used + self.sq_crit_used >= self.sq_size:
+            return "sq"
+        if uop.writes_reg and self.writers_inflight + self.writers_crit \
+                >= self.prf_writers_limit:
+            return "prf"
         partitions = self.partitions
         if len(self.rob) >= partitions.rob.noncritical_size:
             return "rob"
@@ -586,9 +597,17 @@ class CDFPipeline(BaselinePipeline):
     def _noncrit_prf_limit(self) -> int:
         share = self.partitions.rob.critical_size \
             if (self.cdf_mode or self.rob_crit) else 0
-        crit_share = self.prf_writers_limit * share \
-            // max(1, self.partitions.rob.total)
-        return max(8, self.prf_writers_limit - crit_share)
+        limit = self._prf_limit_memo.get(share)
+        if limit is None:
+            # prf_writers_limit and rob.total are fixed at construction,
+            # so the limit is a pure function of the current critical
+            # share — memoized because rebalances visit few distinct
+            # shares while dispatch asks every cycle.
+            crit_share = self.prf_writers_limit * share \
+                // max(1, self.partitions.rob.total)
+            limit = max(8, self.prf_writers_limit - crit_share)
+            self._prf_limit_memo[share] = limit
+        return limit
 
     def _critical_block_reason(self, uop: DynUop) -> Optional[str]:
         reason = self._physical_block_reason(uop)
@@ -724,11 +743,20 @@ class CDFPipeline(BaselinePipeline):
             self.rs_used += 1
         super()._complete_at(entry, cycle, completion)
 
-    # -------------------------------------------------------------- advance
-    def _advance(self, cycle: int) -> int:
+    # -------------------------------------------------------------- wakeups
+    def next_wakeups(self, cycle: int):
+        """CDF's contribution to the unified wakeup candidate set.
+
+        Per-cycle bookkeeping (partition stall counters and rebalance
+        hysteresis, dual-stream scheduling, crit-fetch-buffer decode
+        timers) matters while any CDF structure is live, and those
+        steps are *stateful per invocation* (``decay_all`` moves the
+        partition boundary one step per call), so the engine must not
+        jump spans: contribute ``cycle + 1`` for exactly those phases.
+        Out of CDF mode with the critical structures drained, the
+        machine is a baseline core and the base candidate set covers
+        every wakeup source.
+        """
         if self.cdf_mode or self.crit_fetch_buffer or self.rob_crit:
-            # Per-cycle bookkeeping (partition stall counters, dual-stream
-            # scheduling) matters while CDF structures are live; take the
-            # accurate path and advance one cycle at a time.
-            return cycle + 1
-        return super()._advance(cycle)
+            return (cycle + 1,)
+        return ()

@@ -58,6 +58,14 @@ class WalkResult:
         return self.marked / self.total if self.total else 0.0
 
 
+#: Internal row layout: the walk only needs these nine fields, so the
+#: buffer stores plain tuples — recording happens once per retired uop
+#: (the hottest CDF/PRE hook) and a tuple literal is several times
+#: cheaper than a ``FillBufferEntry`` construction.
+_Row = Tuple[int, int, Optional[int], Tuple[int, ...], Optional[int],
+             bool, bool, bool, bool]
+
+
 class FillBuffer:
     """FIFO of the last ``capacity`` retired uops."""
 
@@ -65,7 +73,7 @@ class FillBuffer:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: List[FillBufferEntry] = []
+        self._entries: List[_Row] = []
         self.walks = 0
 
     def __len__(self) -> int:
@@ -81,7 +89,24 @@ class FillBuffer:
     def record(self, entry: FillBufferEntry) -> None:
         """Append one retired uop; oldest entries fall off the front."""
         entries = self._entries
-        entries.append(entry)
+        entries.append((entry.pc, entry.bb_start, entry.dst, entry.srcs,
+                        entry.mem_addr, entry.is_load, entry.is_store,
+                        entry.is_branch, entry.root_critical))
+        if len(entries) > self.capacity:
+            del entries[0:len(entries) - self.capacity]
+
+    def record_uop(self, uop, bb_start: int, root_critical: bool) -> None:
+        """Append one retired uop straight from its ``DynUop``.
+
+        Fast path for the pipelines' per-retire hook: equivalent to
+        building a :class:`FillBufferEntry` from *uop* and calling
+        :meth:`record`, without the intermediate object.
+        """
+        entries = self._entries
+        entries.append((uop.pc, bb_start,
+                        uop.dst if uop.writes_reg else None, uop.srcs,
+                        uop.mem_addr, uop.is_load, uop.is_store,
+                        uop.is_branch, root_critical))
         if len(entries) > self.capacity:
             del entries[0:len(entries) - self.capacity]
 
@@ -103,37 +128,38 @@ class FillBuffer:
 
         # Pre-compute each uop's bit position within its basic block so
         # prior masks can pre-mark and new masks can be built.
-        bit_pos = [entry.pc - entry.bb_start for entry in entries]
+        bit_pos = [row[0] - row[1] for row in entries]
 
         for i in range(n - 1, -1, -1):
-            entry = entries[i]
-            mark = entry.root_critical
-            if not mark and entry.dst is not None and entry.dst in needed_regs:
+            (_pc, bb_start, dst, srcs, mem_addr,
+             is_load, is_store, _is_branch, mark) = entries[i]
+            if not mark and dst is not None and dst in needed_regs:
                 mark = True
-            if not mark and entry.is_store and entry.mem_addr in needed_mem:
+            if not mark and is_store and mem_addr in needed_mem:
                 mark = True
             if not mark:
                 pos = bit_pos[i]
-                if (prior_masks.get(entry.bb_start, 0) >> pos) & 1:
+                if (prior_masks.get(bb_start, 0) >> pos) & 1:
                     mark = True
             if not mark:
                 continue
             critical[i] = True
-            if entry.dst is not None:
-                needed_regs.discard(entry.dst)
-            needed_regs.update(entry.srcs)
-            if entry.is_load and entry.mem_addr is not None:
-                needed_mem.add(entry.mem_addr)
-            if entry.is_store and entry.mem_addr is not None:
-                needed_mem.discard(entry.mem_addr)
+            if dst is not None:
+                needed_regs.discard(dst)
+            needed_regs.update(srcs)
+            if is_load and mem_addr is not None:
+                needed_mem.add(mem_addr)
+            if is_store and mem_addr is not None:
+                needed_mem.discard(mem_addr)
 
         bb_masks: Dict[int, int] = {}
         bb_ends_in_branch: Dict[int, bool] = {}
-        for i, entry in enumerate(entries):
-            bb_masks.setdefault(entry.bb_start, 0)
+        for i, row in enumerate(entries):
+            bb_start = row[1]
+            bb_masks.setdefault(bb_start, 0)
             if critical[i]:
-                bb_masks[entry.bb_start] |= (1 << bit_pos[i])
-            if entry.is_branch:
-                bb_ends_in_branch[entry.bb_start] = True
+                bb_masks[bb_start] |= (1 << bit_pos[i])
+            if row[7]:
+                bb_ends_in_branch[bb_start] = True
         marked = sum(critical)
         return WalkResult(critical, bb_masks, bb_ends_in_branch, n, marked)

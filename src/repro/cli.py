@@ -345,6 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--tolerance", type=float, default=None, metavar="FRAC",
         help="regression band as a fraction (default 0.30)")
+    perf.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one warm sweep instead of timing: per-stage "
+             "hotspot table, written to BENCH_profile.json (numbers "
+             "are not comparable to the regression columns)")
+    perf.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="hotspot rows to keep with --profile (default 15)")
     perf.add_argument("--quiet", action="store_true",
                       help="suppress phase progress on stderr")
 
@@ -770,6 +778,29 @@ def cmd_perf(args) -> int:
         if not args.quiet:
             print(f"... {line}", file=sys.stderr)
 
+    if args.profile:
+        from .harness.perfbench import PROFILE_REPORT, run_profile
+        output = args.output or PROFILE_REPORT
+        report = run_profile(smoke=args.smoke, top=args.top,
+                             progress=progress)
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        stage_rows = [(row["stage"], str(row["calls"]),
+                       f"{row['tottime_s']:.3f} s",
+                       f"{row['cumtime_s']:.3f} s")
+                      for row in report["stages"]]
+        print(render_table("cycle-loop stages (profiled warm sweep)",
+                           ("stage", "calls", "tottime", "cumtime"),
+                           stage_rows))
+        hot_rows = [(row["where"], str(row["calls"]),
+                     f"{row['tottime_s']:.3f} s")
+                    for row in report["hotspots"]]
+        print(render_table(f"top {len(hot_rows)} hotspots by tottime",
+                           ("function", "calls", "tottime"), hot_rows))
+        print(f"profile written to {output}")
+        return 0
+
     output = args.output or perf_default_report()
     tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
 
@@ -788,7 +819,8 @@ def cmd_perf(args) -> int:
 
     timings = report["timings"]
     derived = report["derived"]
-    rows = [(metric, f"{timings[metric]:.3f} s")
+    rows = [(metric, f"{timings[metric]:.3f} s"
+             if timings[metric] is not None else "n/a")
             for metric in sorted(timings)]
     rows += [(metric, f"{derived[metric]:.3f}x")
              for metric in sorted(derived)]

@@ -1,0 +1,99 @@
+"""Event-driven cycle scheduling support (the unified wakeup set).
+
+The run loop in :mod:`repro.core.pipeline` is event-driven: between
+ticks it computes the earliest cycle at which *any* wakeup source could
+make work appear and jumps the clock there in O(1), regardless of span
+length.  The candidate set is:
+
+* **completion events** — the top of the completion-event heap
+  (``pipeline.events``), where every issued uop's writeback is
+  scheduled;
+* **MSHR expiries** — the earliest in-flight miss fill at either MSHR
+  level, consulted while rejected loads are waiting to retry;
+* **frontend-queue head readiness** — the decode-latency timestamp of
+  the oldest fetched uop, consulted while dispatch is unblocked;
+* **fetch resume** — redirect penalties and BTB bubbles park fetch
+  until ``fetch_resume_cycle``, consulted while fetch has trace left
+  and frontend-queue room;
+* **the wakeup heap** (``pipeline.wakeups``) — unconditional timers
+  pushed by :meth:`~repro.core.pipeline.BaselinePipeline._schedule_wakeup`;
+* **subclass candidates** — whatever
+  :meth:`~repro.core.pipeline.BaselinePipeline.next_wakeups` yields.
+
+The first four sources are *validity-gated*: their timers only matter
+while the gating machine state holds (a parked fetch timer is dead once
+fetch blocks on a mispredicted branch), so they are consulted as gated
+scalars rather than parked in the heap — an entry that outlived its gate
+would wake the machine on a cycle the gated computation provably skips,
+and the tick set is observable state (occupancy gauges are sampled per
+ticked cycle, CDF partition decay steps once per dispatch invocation).
+The heap and the ``next_wakeups()`` hook carry everything else; the
+contract for subclasses is documented in docs/architecture.md.
+
+Scheduler telemetry lives in :class:`SchedulerStats` — a plain-slots
+accumulator, *deliberately not* the pipeline's ``Counters`` bag: every
+``counters`` key feeds ``SimResult.fingerprint()``, and scheduler
+activity (how many stages were skipped, how many wakeups coalesced)
+describes the engine, not the machine.  The stats materialise into a
+registry-validated ``Counters`` via :meth:`SchedulerStats.to_counters`
+for reports and tests.
+"""
+
+from __future__ import annotations
+
+from ..stats import Counters
+
+__all__ = ["SCHED_COUNTER_KEYS", "SchedulerStats"]
+
+#: Counter keys the scheduler telemetry materialises (all declared in
+#: ``repro.stats.registry``).
+SCHED_COUNTER_KEYS = (
+    "sched_events_scheduled",
+    "sched_wakeups_scheduled",
+    "sched_wakeups_coalesced",
+    "sched_stage_skips",
+    "sched_idle_jumps",
+    "sched_subclass_wakeups",
+)
+
+
+class SchedulerStats:
+    """Engine-side telemetry for the event-driven run loop.
+
+    Kept separate from the simulated machine's counters so that the
+    fingerprint contract (every ``Counters`` key is part of
+    ``SimResult``) is untouched by engine bookkeeping.
+    """
+
+    __slots__ = ("events_scheduled", "wakeups_scheduled",
+                 "wakeups_coalesced", "stage_skips", "idle_jumps",
+                 "subclass_wakeups")
+
+    def __init__(self) -> None:
+        #: completion events pushed into the completion-event heap
+        self.events_scheduled = 0
+        #: timers pushed into the unified wakeup heap
+        self.wakeups_scheduled = 0
+        #: same-cycle completions broadcast in one writeback invocation
+        #: beyond the first (N events due the same cycle coalesce into
+        #: one wakeup broadcast, counted as N-1 coalesced)
+        self.wakeups_coalesced = 0
+        #: stage invocations skipped because the stage provably had no
+        #: work this cycle
+        self.stage_skips = 0
+        #: idle spans jumped in O(1) (each jump covers >= 1 cycle,
+        #: accounted in the machine's ``idle_skipped_cycles``)
+        self.idle_jumps = 0
+        #: wakeup candidates contributed by ``next_wakeups()`` overrides
+        self.subclass_wakeups = 0
+
+    def to_counters(self) -> Counters:
+        """Materialise the telemetry as registry-validated counters."""
+        counters = Counters()
+        counters.bump("sched_events_scheduled", self.events_scheduled)
+        counters.bump("sched_wakeups_scheduled", self.wakeups_scheduled)
+        counters.bump("sched_wakeups_coalesced", self.wakeups_coalesced)
+        counters.bump("sched_stage_skips", self.stage_skips)
+        counters.bump("sched_idle_jumps", self.idle_jumps)
+        counters.bump("sched_subclass_wakeups", self.subclass_wakeups)
+        return counters

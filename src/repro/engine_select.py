@@ -1,0 +1,75 @@
+"""Engine-variant selection: ``REPRO_ENGINE=python|numpy``.
+
+Bulk-state code paths (columnar trace decoding in :mod:`repro.isa.
+traceio`, vectorised table precomputation) exist in two bit-identical
+implementations: a numpy-backed one and a pure-python fallback.  This
+module is the single switch that decides which runs:
+
+* ``REPRO_ENGINE=numpy`` — require numpy; raise if it is missing.
+* ``REPRO_ENGINE=python`` — force the pure-python paths even when numpy
+  is installed (the configuration CI uses to prove parity).
+* unset — use numpy when importable, python otherwise.  numpy is an
+  *optional* dependency (see pyproject.toml): a bare install runs
+  everything, just slower.
+
+Layering (ARCH001): this module sits at the very bottom of the
+dependency DAG — below even ``repro.isa`` — precisely so the foundation
+layers can consult it.  It must import nothing from ``repro``; the
+numpy-backed data structures themselves live in whichever layer owns
+the data (the columnar trace decoder in ``repro.isa``), selected at
+call time via :func:`use_numpy`.  See docs/architecture.md.
+
+The choice deliberately cannot vary mid-process: both variants are
+bit-identical (pinned by tests/core/test_engine_equivalence.py and the
+24 suite fingerprints), so flipping between them is only ever a
+performance decision, and caching it keeps the hot paths branch-cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["ENGINE_ENV", "engine_variant", "get_numpy", "use_numpy"]
+
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Resolved (variant, numpy-module-or-None); None until first use.
+_resolved: Optional[tuple] = None
+
+
+def _resolve() -> tuple:
+    requested = os.environ.get(ENGINE_ENV, "").strip().lower()
+    if requested not in ("", "python", "numpy"):
+        raise ValueError(
+            f"{ENGINE_ENV}={requested!r}: expected 'python' or 'numpy'")
+    if requested == "python":
+        return ("python", None)
+    try:
+        import numpy
+    except ImportError:
+        if requested == "numpy":
+            raise RuntimeError(
+                f"{ENGINE_ENV}=numpy but numpy is not installed; install "
+                f"the 'fast' extra or unset {ENGINE_ENV}")
+        return ("python", None)
+    return ("numpy", numpy)
+
+
+def engine_variant() -> str:
+    """The active variant name: ``'numpy'`` or ``'python'``."""
+    global _resolved  # simlint: disable=CONC001 idempotent memo of an env read
+    if _resolved is None:
+        _resolved = _resolve()
+    return _resolved[0]
+
+
+def use_numpy() -> bool:
+    """True when numpy-backed code paths should run."""
+    return engine_variant() == "numpy"
+
+
+def get_numpy():
+    """The numpy module when the numpy variant is active, else None."""
+    engine_variant()
+    return _resolved[1]

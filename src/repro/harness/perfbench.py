@@ -33,14 +33,30 @@ real ``$REPRO_CACHE_DIR``:
     "low-overhead" contract (docs/observability.md): the hooks are a
     single ``is not None`` test per site at level 0, and even level 1
     must stay cheap.
+``sweep_event_s`` / ``sweep_naive_s``
+    Simulation-only *CPU* time (traces pre-loaded, pipeline
+    construction excluded) for the suite under the event-driven
+    ``run()`` loop and the retained tick-every-cycle
+    ``run_reference()`` loop.  The two are measured *interleaved*
+    (event, naive, event, naive, ...) and in CPU rather than wall time
+    so machine drift and background load cancel out of the ratio.
+``trace_load_python_s`` / ``trace_load_numpy_s``
+    Best-of-reps suite decode CPU time under each ``REPRO_ENGINE``
+    variant, each measured in a fresh subprocess (the variant is
+    resolved once per process; see :mod:`repro.engine_select`) after
+    one untimed warm-up pass.  The numpy column is ``None`` when numpy
+    is not installed.
 
 Absolute seconds are machine-dependent, so cross-machine comparisons
 (CI) use the *derived ratios* — ``trace_compile_speedup``
-(functional/trace-load), ``cold_over_warm``, and ``warm_over_obs``
-(warm/obs-instrumented; ~1.0, drops when telemetry gets expensive) —
-which track the architecture of the code rather than the speed of the
-host.  Same-machine comparisons (a developer re-running
-``repro-sim perf``) use the raw timings with a noise tolerance band.
+(functional/trace-load), ``cold_over_warm``, ``warm_over_obs``
+(warm/obs-instrumented; ~1.0, drops when telemetry gets expensive),
+and ``event_engine_speedup`` (naive/event simulation time; drops
+toward or below 1.0 if the event engine's scheduling bookkeeping ever
+costs more than the cycles it skips) — which track the architecture of
+the code rather than the speed of the host.  Same-machine comparisons
+(a developer re-running ``repro-sim perf``) use the raw timings with a
+noise tolerance band.
 
 This module is on simlint's DET003 wall-clock allowlist: measuring time
 is its purpose; simulation results never depend on it.
@@ -48,10 +64,12 @@ is its purpose; simulation results never depend on it.
 
 from __future__ import annotations
 
+import importlib.util
 import json
 import os
 import platform
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -61,11 +79,24 @@ from .engine import Engine, Job
 
 #: Stable report schema version (bump on any shape change).
 #: v2: added the obs-overhead column (``sweep_obs_s`` / ``warm_over_obs``).
-SCHEMA_VERSION = 2
+#: v3: event-engine columns (``sweep_event_s`` / ``sweep_naive_s`` /
+#: ``event_engine_speedup``) and per-``REPRO_ENGINE`` decode timings.
+SCHEMA_VERSION = 3
 
 #: Default report filename, written to the current directory (the repo
 #: root in CI and in the documented workflow).
 DEFAULT_REPORT = "BENCH_perf.json"
+
+#: Default report filename for ``repro-sim perf --profile``.
+PROFILE_REPORT = "BENCH_profile.json"
+
+#: Pipeline methods aggregated into the per-stage profile table.  These
+#: are the cycle loop's direct constituents; everything else lands in
+#: the flat hotspot list.
+STAGE_METHODS: Tuple[str, ...] = (
+    "run", "_next_cycle", "_fetch", "_dispatch", "_allocate",
+    "_issue", "_issue_load", "_writeback", "_complete_at", "_retire",
+)
 
 #: The pinned micro-suite: one mode per workload, covering all three
 #: pipeline models across six kernels.  Do not casually edit — timings
@@ -93,6 +124,11 @@ def _clear_workload_cache() -> None:
     runner._workload_cache.clear()
 
 
+def _active_engine_variant() -> str:
+    from ..engine_select import engine_variant
+    return engine_variant()
+
+
 def _load_suite_traces(scale: float) -> float:
     """Wall time to materialise every suite workload's trace once."""
     from .runner import load_workload
@@ -110,6 +146,95 @@ def _sweep_once(jobs: List[Job]) -> float:
     start = time.perf_counter()
     engine.run(jobs)
     return time.perf_counter() - start
+
+
+def _sweep_direct(scale: float, method: str) -> float:
+    """Simulation-only suite time: sum of one ``method`` call per job.
+
+    Traces are materialised and the pipeline constructed *outside* the
+    timed region, so ``run`` vs ``run_reference`` is an apples-to-apples
+    comparison of the cycle loops alone.  Uses CPU time
+    (``time.process_time``) rather than wall time: this column exists
+    to compare two loops against *each other*, and CPU time keeps
+    unrelated machine load out of the ratio.
+    """
+    from .runner import config_for_mode, load_workload, make_pipeline
+    total = 0.0
+    for name, mode in PERF_SUITE:
+        workload = load_workload(name, scale)
+        trace = workload.trace()
+        config = config_for_mode(mode)
+        config.stats_warmup_uops = workload.warmup_uops()
+        pipeline = make_pipeline(mode, trace, config, workload)
+        start = time.process_time()
+        getattr(pipeline, method)()
+        total += time.process_time() - start
+    return total
+
+
+def _event_vs_reference(scale: float,
+                        reps: int) -> Tuple[float, float]:
+    """``(sweep_event_s, sweep_naive_s)``: per-benchmark best-of-reps.
+
+    The two loops run back-to-back per benchmark and the minimum is
+    taken per ``(benchmark, loop)`` before summing — a much tighter
+    estimator than best-of-suite-totals, since each benchmark's noise
+    floor is found independently.
+    """
+    from .runner import config_for_mode, load_workload, make_pipeline
+    best: Dict[Tuple[str, str], float] = {}
+    for _ in range(reps):
+        for name, mode in PERF_SUITE:
+            workload = load_workload(name, scale)
+            trace = workload.trace()
+            for method in ("run", "run_reference"):
+                config = config_for_mode(mode)
+                config.stats_warmup_uops = workload.warmup_uops()
+                pipeline = make_pipeline(mode, trace, config, workload)
+                start = time.process_time()
+                getattr(pipeline, method)()
+                elapsed = time.process_time() - start
+                key = (method, name)
+                best[key] = min(best.get(key, elapsed), elapsed)
+    event_s = sum(v for (m, _), v in best.items() if m == "run")
+    naive_s = sum(v for (m, _), v in best.items() if m == "run_reference")
+    return event_s, naive_s
+
+
+def _decode_variant_timing(variant: str, scale: float,
+                           reps: int) -> Optional[float]:
+    """Best-of-reps suite decode time under ``REPRO_ENGINE=variant``.
+
+    Runs in a fresh subprocess because the engine variant is resolved
+    once per process (:mod:`repro.engine_select`); the subprocess
+    inherits the private trace store through the environment.  Returns
+    ``None`` when the variant is unavailable (numpy not installed).
+    """
+    if variant == "numpy" and importlib.util.find_spec("numpy") is None:
+        return None
+    # CPU time, with one untimed warm-up pass: the first decode pays
+    # one-time costs (numpy import, OS file cache) that would otherwise
+    # pollute the python-vs-numpy comparison.
+    script = (
+        "import sys, time\n"
+        "from repro.harness.perfbench import (PERF_SUITE,\n"
+        "                                     _clear_workload_cache)\n"
+        "from repro.harness.runner import load_workload\n"
+        "reps, scale = int(sys.argv[1]), float(sys.argv[2])\n"
+        "def once():\n"
+        "    _clear_workload_cache()\n"
+        "    start = time.process_time()\n"
+        "    for name, _mode in PERF_SUITE:\n"
+        "        load_workload(name, scale).trace()\n"
+        "    return time.process_time() - start\n"
+        "once()\n"
+        "print(repr(min(once() for _ in range(reps))))\n")
+    env = dict(os.environ)
+    env["REPRO_ENGINE"] = variant
+    out = subprocess.run(
+        [sys.executable, "-c", script, str(reps), str(scale)],
+        env=env, capture_output=True, text=True, check=True)
+    return float(out.stdout.strip().splitlines()[-1])
 
 
 def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
@@ -157,6 +282,16 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
                     for name, mode in PERF_SUITE]
         note(f"warm sweep x{reps} (obs_level=1 telemetry)")
         sweep_obs_s = min(_sweep_once(obs_jobs) for _ in range(reps))
+
+        # Event engine vs the retained naive reference loop, interleaved
+        # so machine drift cancels out of the ratio (simulation only).
+        note(f"event vs reference loop x{reps} (interleaved, sim only)")
+        sweep_event_s, sweep_naive_s = _event_vs_reference(scale, reps)
+
+        # Per-REPRO_ENGINE decode timing (fresh subprocess per variant).
+        note("trace decode per engine variant (subprocesses)")
+        trace_load_python_s = _decode_variant_timing("python", scale, reps)
+        trace_load_numpy_s = _decode_variant_timing("numpy", scale, reps)
     finally:
         if saved_cache_dir is None:
             os.environ.pop("REPRO_CACHE_DIR", None)
@@ -181,6 +316,14 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
             "sweep_cold_s": round(sweep_cold_s, 4),
             "sweep_warm_s": round(sweep_warm_s, 4),
             "sweep_obs_s": round(sweep_obs_s, 4),
+            "sweep_event_s": round(sweep_event_s, 4),
+            "sweep_naive_s": round(sweep_naive_s, 4),
+            "trace_load_python_s": (
+                round(trace_load_python_s, 4)
+                if trace_load_python_s is not None else None),
+            "trace_load_numpy_s": (
+                round(trace_load_numpy_s, 4)
+                if trace_load_numpy_s is not None else None),
         },
         "derived": {
             "trace_compile_speedup": round(
@@ -189,10 +332,101 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
                 sweep_cold_s / sweep_warm_s, 3) if sweep_warm_s else 0.0,
             "warm_over_obs": round(
                 sweep_warm_s / sweep_obs_s, 3) if sweep_obs_s else 0.0,
+            "event_engine_speedup": round(
+                sweep_naive_s / sweep_event_s, 3) if sweep_event_s else 0.0,
         },
         "env": {
             "python": platform.python_version(),
             "platform": sys.platform,
+            "engine": _active_engine_variant(),
+        },
+    }
+
+
+# --------------------------------------------------------------- profile
+def run_profile(smoke: bool = False, top: int = 15,
+                progress: Optional[Callable[[str], None]] = None) -> dict:
+    """cProfile one warm suite sweep; returns the profile report dict.
+
+    Timings taken under the profiler are not comparable to the
+    regression columns (instrumentation overhead), so this is a
+    *separate* report (``BENCH_profile.json``): a per-stage table over
+    :data:`STAGE_METHODS` plus the flat top-``top`` hotspot list.
+    """
+    import cProfile
+    import pstats
+
+    from .runner import load_workload
+    from .tracestore import NO_TRACE_CACHE_ENV, reset_trace_store
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    scale = SMOKE_SCALE if smoke else PERF_SCALE
+    saved_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    saved_no_trace = os.environ.pop(NO_TRACE_CACHE_ENV, None)
+    private_root = tempfile.mkdtemp(prefix="repro-perfprof-")
+    os.environ["REPRO_CACHE_DIR"] = private_root
+    reset_trace_store()
+    try:
+        note("populating private trace store")
+        _clear_workload_cache()
+        for name, _mode in PERF_SUITE:
+            load_workload(name, scale).trace()
+        note("profiled warm sweep (simulation only)")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sim_s = _sweep_direct(scale, "run")
+        profiler.disable()
+    finally:
+        if saved_cache_dir is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_cache_dir
+        if saved_no_trace is not None:
+            os.environ[NO_TRACE_CACHE_ENV] = saved_no_trace
+        reset_trace_store()
+        shutil.rmtree(private_root, ignore_errors=True)
+
+    stats = pstats.Stats(profiler)
+    stages: Dict[str, List[float]] = {}
+    hotspots = []
+    for (filename, lineno, funcname), row in stats.stats.items():
+        _cc, ncalls, tottime, cumtime, _callers = row
+        if f"repro{os.sep}" in filename:
+            if funcname in STAGE_METHODS:
+                agg = stages.setdefault(funcname, [0, 0.0, 0.0])
+                agg[0] += ncalls
+                agg[1] += tottime
+                agg[2] += cumtime
+            where = f"{os.path.basename(filename)}:{lineno}({funcname})"
+        else:
+            where = f"{os.path.basename(filename)}({funcname})"
+        hotspots.append((tottime, cumtime, ncalls, where))
+    hotspots.sort(reverse=True)
+
+    stage_rows = [
+        {"stage": name, "calls": int(agg[0]),
+         "tottime_s": round(agg[1], 4), "cumtime_s": round(agg[2], 4)}
+        for name, agg in sorted(stages.items(),
+                                key=lambda item: -item[1][1])]
+    hotspot_rows = [
+        {"where": where, "calls": int(ncalls),
+         "tottime_s": round(tottime, 4), "cumtime_s": round(cumtime, 4)}
+        for tottime, cumtime, ncalls, where in hotspots[:top]]
+    return {
+        "schema": 1,
+        "suite": [list(pair) for pair in PERF_SUITE],
+        "scale": scale,
+        "smoke": smoke,
+        "profiled_sim_s": round(sim_s, 4),
+        "stages": stage_rows,
+        "hotspots": hotspot_rows,
+        "env": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "engine": _active_engine_variant(),
         },
     }
 
@@ -213,6 +447,8 @@ def compare_timings(current: dict, previous: dict,
     prev_t: Dict[str, float] = previous.get("timings", {})
     for metric, now in current.get("timings", {}).items():
         then = prev_t.get(metric)
+        if now is None:     # variant unavailable on this machine
+            continue
         if then and now > then * (1.0 + tolerance):
             regressions.append(
                 f"{metric}: {now:.3f}s vs {then:.3f}s "

@@ -8,7 +8,7 @@ prefetch accuracy.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import CacheConfig
 from .replacement import make_policy
@@ -45,10 +45,17 @@ class Cache:
         self.ways = config.ways
         self.latency = config.latency
         self._set_mask = self.num_sets - 1
-        self._lines = [[CacheLine() for _ in range(self.ways)]
-                       for _ in range(self.num_sets)]
-        self._policies = [make_policy(policy, self.ways, seed + i)
-                          for i in range(self.num_sets)]
+        # Tag store and replacement state are allocated lazily, per set,
+        # on the first fill that touches the set: an untouched set is
+        # indistinguishable from an all-invalid one, and small workloads
+        # touch a tiny fraction of a large LLC — eager allocation was a
+        # measurable slice of pipeline construction.  The per-set policy
+        # seed (``seed + set_index``) is preserved exactly, so random
+        # replacement behaves bit-identically to the eager layout.
+        self._lines: Dict[int, List[CacheLine]] = {}
+        self._policies: Dict[int, object] = {}
+        self._policy_kind = policy
+        self._seed = seed
         #: True when the most recent ``lookup`` hit a prefetched line; the
         #: hierarchy forwards this to the prefetcher's feedback loop.
         self.last_hit_prefetched = False
@@ -63,11 +70,28 @@ class Cache:
 
     def _find(self, line_addr: int):
         set_index = line_addr & self._set_mask
-        tag = line_addr
-        for way, line in enumerate(self._lines[set_index]):
-            if line.valid and line.tag == tag:
-                return set_index, way, line
+        lines = self._lines.get(set_index)
+        if lines is not None:
+            tag = line_addr
+            for way, line in enumerate(lines):
+                if line.valid and line.tag == tag:
+                    return set_index, way, line
         return set_index, -1, None
+
+    def set_lines(self, set_index: int) -> List[CacheLine]:
+        """The tag-store lines of *set_index*, allocating on first touch.
+
+        Only :meth:`fill` (and tests/verification poking at tag state)
+        need the backing storage; lookups on a never-filled set miss
+        without allocating it.
+        """
+        lines = self._lines.get(set_index)
+        if lines is None:
+            lines = self._lines[set_index] = \
+                [CacheLine() for _ in range(self.ways)]
+            self._policies[set_index] = make_policy(
+                self._policy_kind, self.ways, self._seed + set_index)
+        return lines
 
     def lookup(self, line_addr: int, update_stats: bool = True) -> bool:
         """Probe for *line_addr*; update LRU and hit/miss stats on True."""
@@ -104,21 +128,22 @@ class Cache:
             line.dirty = line.dirty or dirty
             self._policies[set_index].on_access(way)
             return None
+        lines = self.set_lines(set_index)
         policy = self._policies[set_index]
         victim_way = None
-        for candidate, candidate_line in enumerate(self._lines[set_index]):
+        for candidate, candidate_line in enumerate(lines):
             if not candidate_line.valid:
                 victim_way = candidate
                 break
         evicted = None
         if victim_way is None:
             victim_way = policy.victim()
-            victim = self._lines[set_index][victim_way]
+            victim = lines[victim_way]
             self.evictions += 1
             if victim.dirty:
                 self.dirty_evictions += 1
             evicted = (victim.tag, victim.dirty)
-        new_line = self._lines[set_index][victim_way]
+        new_line = lines[victim_way]
         new_line.tag = line_addr
         new_line.valid = True
         new_line.dirty = dirty

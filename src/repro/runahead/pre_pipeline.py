@@ -28,7 +28,7 @@ from typing import Dict, Optional, Sequence
 from ..config import SimConfig
 from ..core.pipeline import BaselinePipeline
 from ..core.rob import ISSUED, RobEntry
-from ..cdf.fill_buffer import FillBuffer, FillBufferEntry
+from ..cdf.fill_buffer import FillBuffer
 from ..cdf.mask_cache import MaskCache
 from ..cdf.uop_cache import CriticalUopCache
 from ..isa.dynuop import DynUop
@@ -124,12 +124,8 @@ class PREPipeline(BaselinePipeline):
         uop = entry.uop
         cdf = self.config.cdf
         root_critical = uop.is_load and uop.pc in self.sst
-        self.fill_buffer.record(FillBufferEntry(
-            seq=uop.seq, pc=uop.pc, bb_start=self.bb_start[uop.pc],
-            dst=uop.dst if uop.writes_reg else None, srcs=uop.srcs,
-            mem_addr=uop.mem_addr, is_load=uop.is_load,
-            is_store=uop.is_store, is_branch=uop.is_branch,
-            root_critical=root_critical))
+        self.fill_buffer.record_uop(uop, self.bb_start[uop.pc],
+                                    root_critical)
         self._retired_since_fill += 1
         self._retired_since_mask_reset += 1
         if self._retired_since_mask_reset >= cdf.mask_cache_reset_interval:

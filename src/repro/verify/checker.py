@@ -316,7 +316,10 @@ class PipelineVerifier:
         p = self.pipeline
         p.counters.bump("verify_cache_scans")
         for cache in (p.mem.l1i, p.mem.l1d, p.mem.llc):
-            for set_index, lines in enumerate(cache._lines):
+            # The tag store allocates per set on first fill; an absent
+            # set is all-invalid by construction, so scanning only the
+            # allocated ones checks every line that can hold state.
+            for set_index, lines in cache._lines.items():
                 tags: List[int] = [line.tag for line in lines
                                    if line.valid]
                 if len(tags) != len(set(tags)):

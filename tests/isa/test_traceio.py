@@ -1,11 +1,16 @@
 """Unit tests for binary trace serialisation."""
 
+import struct
+
 import pytest
 
 from repro.config import SimConfig
 from repro.core import BaselinePipeline
+from repro.engine_select import use_numpy
 from repro.isa import assemble, execute
-from repro.isa.traceio import TraceFormatError, load_trace, save_trace
+from repro.isa import traceio
+from repro.isa.traceio import (TraceFormatError, dumps_trace, load_trace,
+                               save_trace)
 
 
 def sample_trace():
@@ -117,3 +122,31 @@ def test_empty_trace_roundtrip(tmp_path):
     path = str(tmp_path / "empty.cdft")
     save_trace([], path)
     assert load_trace(path) == []
+
+
+def test_current_format_is_v2_columnar():
+    _, trace = sample_trace()
+    data = dumps_trace(trace)
+    version = struct.unpack_from("<H", data, 4)[0]
+    assert version == traceio.VERSION == 2
+
+
+@pytest.mark.skipif(not use_numpy(),
+                    reason="numpy engine variant not active")
+def test_v2_column_decoders_are_bit_identical():
+    """The numpy and pure-python column lifters must produce the same
+    Python values — the REPRO_ENGINE switch is performance-only."""
+    _, trace = sample_trace()
+    data = dumps_trace(trace)
+    (_version, n, n_srcs_total, n_mem, n_deps_total,
+     n_loads) = traceio._V2_HEADER.unpack_from(data, 4)
+    args = (data, 4 + traceio._V2_HEADER.size, n, n_srcs_total,
+            n_mem, n_deps_total, n_loads)
+    py_cols = traceio._v2_columns_python(*args)
+    np_cols = traceio._v2_columns_numpy(*args)
+    assert py_cols[-1] == np_cols[-1]          # consumed offset
+    for a, b in zip(py_cols[:-1], np_cols[:-1]):
+        if isinstance(a, bytes):
+            assert a == b
+        else:
+            assert list(a) == list(b)

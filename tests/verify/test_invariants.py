@@ -276,7 +276,7 @@ def test_unissued_store_tracking_scan_violation():
 
 def test_cache_duplicate_tag_scan_violation():
     pipeline, verifier, trace = baseline_with_checker()
-    lines = pipeline.mem.l1d._lines[0]
+    lines = pipeline.mem.l1d.set_lines(0)
     for line in lines[:2]:
         line.valid = True
         line.tag = 0
@@ -287,7 +287,7 @@ def test_cache_duplicate_tag_scan_violation():
 
 def test_cache_tag_set_mismatch_scan_violation():
     pipeline, verifier, trace = baseline_with_checker()
-    line = pipeline.mem.llc._lines[0][0]
+    line = pipeline.mem.llc.set_lines(0)[0]
     line.valid = True
     line.tag = 1          # belongs in set 1, planted in set 0
     with pytest.raises(InvariantViolation) as exc:
