@@ -32,8 +32,7 @@ def build_jobs(scale):
     jobs = []
     for count in MSHR_COUNTS:
         for mode in MODES:
-            config = config_for_mode(mode)
-            mshr_knob(config, count)
+            config = mshr_knob(config_for_mode(mode), count)
             for name in BENCHMARKS:
                 jobs.append(Job(name, mode, scale=scale, config=config))
     return jobs

@@ -1,0 +1,245 @@
+"""The analytical throughput model: profile + SimConfig -> cycles/IPC.
+
+An interval-analysis-style bound model in the uiCA tradition, adapted to
+this repo's uop ISA and :class:`~repro.config.SimConfig`.  Steady-state
+execution time is the *maximum* of independent throughput bounds — the
+machine runs at the speed of its tightest bottleneck — plus serializing
+penalties (branch mispredicts, I-cache misses) that no amount of
+out-of-order overlap hides:
+
+* **width / ports** — uops over machine width, and per execution-port
+  class over its port count (units are fully pipelined; see
+  :mod:`repro.isa.ports`), derated by a scheduling-efficiency factor
+  because a real RS never issues perfectly.
+* **frontend** — fetch groups end at taken branches, so fetch needs
+  roughly ``uops/width`` cycles plus half a cycle of lost slots per
+  taken branch, plus L1I refills when the code footprint spills.
+* **critical path** — the longest dependency chain, with its loads
+  re-weighted by this config's own L1/LLC/DRAM latencies (the profile
+  classes each chain load by reuse gap).
+* **memory latency** — DRAM misses serialized through the achievable
+  memory-level parallelism: bounded by MSHRs, by window occupancy, and
+  by the number of *independent* miss chains (dependent pointer chases
+  cannot overlap, which the miss-per-chain ratio captures).
+* **memory bandwidth** — every DRAM transfer occupies a channel for a
+  burst, demand and prefetch alike.
+
+Calibration constants below were fitted once against the cycle-accurate
+model on the pinned six-kernel perf suite (see
+``benchmarks/analytic_baseline.json`` and tests/analytic/); they are
+global — never tuned per workload — so held-out kernels and configs see
+honest errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import SimConfig
+from .profile import TraceProfile
+
+__all__ = ["AnalyticModel", "AnalyticPrediction", "predict_ipc"]
+
+
+# ---------------------------------------------------------------------
+# Calibration constants (global; fitted on the pinned perf suite).
+# ---------------------------------------------------------------------
+
+#: Maps reuse-histogram access-gap buckets onto cache capacities: a line
+#: whose reuse gap is <= LOCALITY_FACTOR * capacity_lines is predicted
+#: to hit.  Gaps are counted in *accesses* (not distinct lines), which
+#: overestimates working sets for loop kernels; a factor > 1 compensates.
+LOCALITY_FACTOR = 2.0
+
+#: Fraction of DRAM-bound misses on strided streams the stream
+#: prefetcher converts into LLC-latency fills.  Applied against the
+#: *squared* strided fraction: partially-strided access patterns also
+#: lose timeliness (short streams end before the prefetcher ramps), so
+#: coverage falls off faster than linearly.
+PREFETCH_COVERAGE = 0.75
+
+#: Row-buffer locality: the fraction of the row-activation latency
+#: (tRCD) an average access pays scales from ROW_MISS_FRACTION for
+#: random access streams down by the strided fraction (sequential
+#: streams mostly hit open rows).
+ROW_MISS_FRACTION = 0.9
+ROW_HIT_DISCOUNT = 0.6
+
+#: The sim's direction predictor is simple per-branch state; on the
+#: pinned suite it mispredicts about this multiple of the profiling
+#: lower bound (the better of always-majority and last-outcome) —
+#: warmup, aliasing, and noisy data-dependent branches cost real
+#: predictors well above the oracle-ish bound.
+PREDICTOR_FACTOR = 1.6
+
+#: Lost fetch slots per taken branch, in cycles: the expected ceil()
+#: rounding when a fetch group ends early at a taken branch.
+TAKEN_BRANCH_BUBBLE = 0.5
+
+#: Real scheduling never issues at full width: RS pressure, picker
+#: conflicts, and load replays derate the pure throughput bounds.
+ISSUE_EFFICIENCY = 0.85
+
+#: A dependency chain costs more than its raw latencies: every hop pays
+#: the wakeup/select loop, RS pressure, and (for chains of misses)
+#: window-refill after the head drains.  The retire-observed chain is
+#: this multiple of the profiled one.
+CHAIN_PRESSURE = 1.5
+
+#: Window occupancy achieved when estimating memory-level parallelism
+#: from misses-per-uop x ROB size (the window is never perfectly full
+#: of misses).
+MLP_WINDOW_EFFICIENCY = 0.5
+
+#: MLP uplift on the memory bound when criticality-driven fetch or
+#: precise runahead is enabled: both mechanisms get miss-causing loads
+#: into the window sooner.  Fitted to the cycle-accurate per-mode
+#: uplifts on the pinned suite (CDF slightly ahead of PRE).
+CDF_MLP_BOOST = 1.10
+PRE_MLP_BOOST = 1.07
+
+
+@dataclass(frozen=True)
+class AnalyticPrediction:
+    """One model evaluation: predicted cycles, IPC, and the per-bound
+    breakdown (cycles attributed to each candidate bottleneck)."""
+
+    cycles: float
+    ipc: float
+    bounds: Dict[str, float]
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the binding throughput bound."""
+        return max(self.bounds, key=lambda key: self.bounds[key])
+
+
+class AnalyticModel:
+    """Evaluate a :class:`TraceProfile` under a concrete config.
+
+    Stateless and cheap: one evaluation is a handful of arithmetic
+    operations over the profile's summary statistics, so a sweep can
+    score hundreds of configs per workload in milliseconds.
+    """
+
+    def predict(self, profile: TraceProfile,
+                config: SimConfig) -> AnalyticPrediction:
+        core = config.core
+        uops = max(1, profile.uops)
+
+        # -- memory latency chain -----------------------------------
+        l1_hit_latency = float(config.l1d.latency)
+        llc_hit_latency = float(config.l1d.latency + config.llc.latency)
+        row_fraction = max(
+            0.0, ROW_MISS_FRACTION
+            - ROW_HIT_DISCOUNT * profile.strided_fraction)
+        # Large-stride walks open a new row per access and revisit the
+        # same banks, so they pay the precharge on top.
+        conflict_fraction = profile.large_stride_fraction
+        dram_core = config.dram.core_cycles(
+            round(config.dram.tcl + row_fraction * config.dram.trcd
+                  + conflict_fraction * config.dram.trp),
+            core.freq_ghz) + config.dram.burst_core_cycles
+        dram_latency = llc_hit_latency + dram_core
+
+        # -- hit/miss mix from the reuse histogram ------------------
+        l1_lines = config.l1d.size_bytes // config.l1d.line_bytes
+        llc_lines = config.llc.size_bytes // config.llc.line_bytes
+        l1_hits, llc_hits, dram_misses = profile.reuse_split(
+            LOCALITY_FACTOR * l1_lines, LOCALITY_FACTOR * llc_lines)
+        prefetched = 0.0
+        if config.prefetcher.enabled and dram_misses:
+            prefetched = dram_misses * PREFETCH_COVERAGE * \
+                profile.strided_fraction ** 2
+            dram_misses -= prefetched
+            llc_hits += prefetched
+
+        bounds: Dict[str, float] = {}
+
+        # -- pure throughput ----------------------------------------
+        width = min(core.fetch_width, core.decode_width,
+                    core.rename_width, core.issue_width,
+                    core.retire_width)
+        bounds["width"] = uops / (width * ISSUE_EFFICIENCY)
+
+        port_counts = {
+            "alu": core.num_alu_ports,
+            "muldiv": core.num_muldiv_ports,
+            "fp": core.num_fp_ports,
+            "load": core.num_load_ports,
+            "store": core.num_store_ports,
+        }
+        for klass, ports in port_counts.items():
+            bounds[f"port:{klass}"] = (
+                profile.class_counts.get(klass, 0)
+                / (max(1, ports) * ISSUE_EFFICIENCY))
+
+        # -- frontend -----------------------------------------------
+        icache_capacity = config.l1i.size_bytes // config.l1i.line_bytes
+        icache_penalty = 0.0
+        if profile.icache_lines > icache_capacity:
+            # Code footprint spills L1I: charge the uncovered fraction
+            # of fetch groups an LLC refill (instruction footprints
+            # here never spill the LLC).
+            miss_fraction = 1.0 - icache_capacity / profile.icache_lines
+            fetch_groups = uops / core.fetch_width \
+                + profile.taken_branches
+            icache_penalty = \
+                miss_fraction * fetch_groups * config.llc.latency
+        bounds["frontend"] = (uops / core.fetch_width
+                              + TAKEN_BRANCH_BUBBLE
+                              * profile.taken_branches
+                              + icache_penalty)
+
+        # -- dependency critical path -------------------------------
+        bounds["critical_path"] = CHAIN_PRESSURE * (
+            profile.critical_path_cycles
+            + profile.critical_path_near * l1_hit_latency
+            + profile.critical_path_mid * llc_hit_latency
+            + profile.critical_path_far * dram_latency)
+
+        # -- serializing penalties (needed by the MLP estimate too) --
+        mispredicts = PREDICTOR_FACTOR * profile.predicted_branch_misses()
+        branch_penalty = mispredicts * \
+            (core.mispredict_redirect_penalty + core.decode_latency)
+
+        # -- memory latency (miss parallelism) ----------------------
+        if dram_misses > 0:
+            miss_density = dram_misses / uops
+            # The window past an unresolved mispredicted branch is
+            # squashed, so the instructions a mispredict-heavy workload
+            # can actually keep in flight shrink below the ROB.
+            effective_window = min(float(core.rob_size),
+                                   uops / (mispredicts + 1.0))
+            window_mlp = max(
+                1.0,
+                MLP_WINDOW_EFFICIENCY * miss_density * effective_window)
+            # Dependent misses cannot overlap: the profiled chain's
+            # DRAM loads are serialized, so at most misses-per-chain
+            # independent streams exist.
+            chains = dram_misses / max(1, profile.critical_path_far)
+            mlp = min(float(config.l1d.mshrs), float(config.llc.mshrs),
+                      window_mlp, max(1.0, chains))
+            if config.cdf.enabled:
+                mlp *= CDF_MLP_BOOST
+            elif config.pre.enabled:
+                mlp *= PRE_MLP_BOOST
+            bounds["memory"] = dram_misses * dram_latency / mlp
+        else:
+            bounds["memory"] = 0.0
+
+        # -- memory bandwidth ---------------------------------------
+        transfers = dram_misses + prefetched
+        bounds["bandwidth"] = (transfers * config.dram.burst_core_cycles
+                               / max(1, config.dram.channels))
+
+        cycles = max(max(bounds.values()) + branch_penalty, 1.0)
+        return AnalyticPrediction(
+            cycles=cycles, ipc=uops / cycles,
+            bounds=dict(bounds, branch_penalty=branch_penalty))
+
+
+def predict_ipc(profile: TraceProfile, config: SimConfig) -> float:
+    """Convenience one-shot: predicted IPC for (profile, config)."""
+    return AnalyticModel().predict(profile, config).ipc

@@ -1,0 +1,391 @@
+"""Config-independent trace profiles for the analytical fast tier.
+
+A :class:`TraceProfile` is everything the analytical model needs to know
+about a workload, collected in ONE linear pass over its dynamic uop
+trace and then reused for every configuration in a sweep.  The profile
+deliberately contains no machine parameters: port counts, cache sizes,
+and DRAM timings are applied later by :mod:`repro.analytic.model`, so
+screening a 200-point sweep builds one profile and performs 200 cheap
+closed-form evaluations.
+
+What the single pass collects:
+
+* **Port-class mix** — uop counts per execution-port class
+  (:data:`repro.isa.ports.PORT_CLASSES`), for per-port throughput
+  bounds.
+* **Dependency critical path** — the longest register/store-forwarding
+  dependency chain, tracked as ``(base_cycles, loads_on_path)`` so the
+  model can re-weight the memory portion of the chain per config
+  instead of baking one latency in.
+* **Branch behaviour** — taken-branch count (fetch groups end at taken
+  branches) and two per-PC mispredict estimators: a *static* bound
+  (min(taken, not-taken) per branch) and a *transition* bound (outcome
+  flips per branch).  A direction predictor with per-branch state does
+  no worse than the smaller of the two.
+* **Memory reuse histogram** — log2-bucketed gaps (in memory accesses)
+  between touches of the same 64B line, the capacity proxy the model
+  maps onto concrete cache sizes to estimate the L1/LLC/DRAM hit mix.
+* **Strided-load fraction** — per-PC stride repetition, the coverage
+  proxy for the stream prefetcher.
+* **Fetch footprint** — distinct I-cache lines
+  (:data:`repro.isa.ports.UOPS_PER_ICACHE_LINE` uops each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..isa.dynuop import DynUop
+from ..isa.ports import PORT_CLASSES, UOPS_PER_ICACHE_LINE
+
+__all__ = ["PROFILE_SCHEMA_VERSION", "TraceProfile"]
+
+#: Bump when the profile's collected fields change incompatibly; cached
+#: profile dicts with a different version must be rebuilt.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Chain loads are classed by reuse gap so the model can weight each
+#: class with the profiled config's own latencies.  The thresholds are
+#: *access-gap* boundaries: gaps within NEAR_GAP accesses hit any
+#: plausible L1, gaps within MID_GAP hit the LLC, the rest (and cold
+#: first touches) go to DRAM.  They bracket the default 32KB/1MB
+#: hierarchy; sweeps that resize caches shift the boundary slightly,
+#: which the committed error bands absorb.
+NEAR_GAP = 1 << 10
+MID_GAP = 1 << 15
+
+#: Nominal per-class load weights (cycles) used only when *choosing*
+#: the critical path during profiling — the real per-config latencies
+#: are applied by the model.  Roughly an L1 hit, an LLC hit, and a
+#: DRAM access on the default config.
+NOMINAL_CLASS_WEIGHT = {"near": 2, "mid": 20, "far": 90}
+
+#: Cache-line granularity of the reuse histogram.  Matches the default
+#: ``CacheConfig.line_bytes``; the model converts capacities with the
+#: config's own line size, so a non-64B config only shifts the proxy.
+_LINE_BYTES = 64
+
+#: Reuse-histogram bucket for first-touch (cold) lines: larger than any
+#: realistic log2 gap, so cold misses never count as capacity hits.
+COLD_BUCKET = 63
+
+#: A repeating per-PC stride only helps the stream prefetcher when it
+#: stays within a few cache lines — streams are tracked at line
+#: granularity with a bounded lookahead, so a 4KB-strided walk opens a
+#: new DRAM row per access and outruns any stream.  Strides above this
+#: count as *large* (a row-conflict signal, not a coverage signal).
+PREFETCHABLE_STRIDE_BYTES = 256
+
+
+@dataclass
+class TraceProfile:
+    """Config-independent summary of one workload's dynamic trace."""
+
+    name: str = ""
+    uops: int = 0
+    #: Uop count per execution-port class, every PORT_CLASSES key present.
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    branches: int = 0
+    cond_branches: int = 0
+    taken_branches: int = 0
+    #: Sum over branch PCs of min(taken, not-taken): the mispredicts a
+    #: static always-majority predictor cannot avoid.
+    static_branch_misses: int = 0
+    #: Sum over branch PCs of outcome transitions: what a last-outcome
+    #: predictor would miss.
+    flip_branch_misses: int = 0
+    loads: int = 0
+    #: Loads satisfied by store-to-load forwarding (store_dep >= 0);
+    #: these never leave the core, so they see L1-class latency in any
+    #: config.
+    forwarded_loads: int = 0
+    stores: int = 0
+    #: Loads whose PC repeats a small (prefetchable) address stride —
+    #: the stream prefetcher's coverage proxy.
+    strided_loads: int = 0
+    #: Loads whose PC repeats a stride too large for stream prefetching
+    #: (> PREFETCHABLE_STRIDE_BYTES): each access opens a new DRAM row.
+    large_strided_loads: int = 0
+    #: log2(reuse gap in memory accesses) -> count, non-forwarded loads
+    #: only.  COLD_BUCKET holds first touches.
+    reuse_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Critical path: cycles contributed by execution latencies along
+    #: the longest dependency chain ...
+    critical_path_cycles: int = 0
+    #: ... and how many non-forwarded loads sit on that chain, classed
+    #: by reuse gap (NEAR_GAP/MID_GAP); their memory latency is
+    #: config-dependent and added by the model.
+    critical_path_near: int = 0
+    critical_path_mid: int = 0
+    critical_path_far: int = 0
+    #: Distinct I-cache lines touched (UOPS_PER_ICACHE_LINE uops each).
+    icache_lines: int = 0
+    #: Distinct 64B data lines touched (cold-miss count lower bound).
+    data_lines: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[DynUop],
+                   name: str = "") -> "TraceProfile":
+        """Profile *trace* in one linear pass (O(uops) time and memory)."""
+        profile = cls(name=name)
+        profile.class_counts = {klass: 0 for klass in PORT_CLASSES}
+        class_counts = profile.class_counts
+        reuse_histogram: Dict[int, int] = {}
+
+        # Critical path: per-uop chain depth as (base_cycles, loads per
+        # reuse class).  Chains are compared by base plus the nominal
+        # per-class load weights.
+        n = len(trace)
+        depth_base: List[int] = [0] * n
+        depth_near: List[int] = [0] * n
+        depth_mid: List[int] = [0] * n
+        depth_far: List[int] = [0] * n
+        weight_near = NOMINAL_CLASS_WEIGHT["near"]
+        weight_mid = NOMINAL_CLASS_WEIGHT["mid"]
+        weight_far = NOMINAL_CLASS_WEIGHT["far"]
+        best_score = 0
+        best = (0, 0, 0, 0)
+
+        # Per-branch-PC direction stats: [taken, not_taken, flips,
+        # last_outcome].
+        branch_pcs: Dict[int, List[int]] = {}
+        # Per-load-PC stride state: [last_addr, last_stride].
+        load_pcs: Dict[int, List[int]] = {}
+        # Reuse tracking: line -> index of its previous access.
+        last_access: Dict[int, int] = {}
+        access_index = 0
+
+        icache_lines = set()
+
+        for uop in trace:
+            class_counts[uop.exec_class] += 1
+            icache_lines.add(uop.pc // UOPS_PER_ICACHE_LINE)
+
+            forwarded = False
+            if uop.is_load:
+                profile.loads += 1
+                forwarded = uop.store_dep >= 0
+                if forwarded:
+                    profile.forwarded_loads += 1
+            elif uop.is_store:
+                profile.stores += 1
+
+            if uop.is_branch:
+                profile.branches += 1
+                if uop.taken:
+                    profile.taken_branches += 1
+                if uop.is_cond_branch:
+                    profile.cond_branches += 1
+                    stats = branch_pcs.get(uop.pc)
+                    outcome = 1 if uop.taken else 0
+                    if stats is None:
+                        branch_pcs[uop.pc] = [outcome, 1 - outcome, 0,
+                                              outcome]
+                    else:
+                        if outcome:
+                            stats[0] += 1
+                        else:
+                            stats[1] += 1
+                        if outcome != stats[3]:
+                            stats[2] += 1
+                            stats[3] = outcome
+            load_class = None
+            if uop.is_mem and uop.mem_addr is not None:
+                line = uop.mem_addr // _LINE_BYTES
+                previous = last_access.get(line)
+                if uop.is_load and not forwarded:
+                    if previous is None:
+                        bucket = COLD_BUCKET
+                        load_class = "far"
+                    else:
+                        gap = access_index - previous
+                        bucket = gap.bit_length()
+                        load_class = ("near" if gap <= NEAR_GAP else
+                                      "mid" if gap <= MID_GAP else "far")
+                    reuse_histogram[bucket] = \
+                        reuse_histogram.get(bucket, 0) + 1
+                last_access[line] = access_index
+                access_index += 1
+                if uop.is_load:
+                    stride_state = load_pcs.get(uop.pc)
+                    if stride_state is None:
+                        load_pcs[uop.pc] = [uop.mem_addr, None]
+                    else:
+                        stride = uop.mem_addr - stride_state[0]
+                        if stride_state[1] == stride and stride != 0:
+                            if abs(stride) <= PREFETCHABLE_STRIDE_BYTES:
+                                profile.strided_loads += 1
+                            else:
+                                profile.large_strided_loads += 1
+                        stride_state[0] = uop.mem_addr
+                        stride_state[1] = stride
+
+            # Longest chain among register producers and, for forwarded
+            # loads, the forwarding store (a true memory dependency).
+            parent = None
+            parent_score = -1
+            deps = uop.src_deps
+            if uop.is_load and forwarded:
+                deps = deps + (uop.store_dep,)
+            for dep in deps:
+                score = (depth_base[dep]
+                         + depth_near[dep] * weight_near
+                         + depth_mid[dep] * weight_mid
+                         + depth_far[dep] * weight_far)
+                if score > parent_score:
+                    parent_score = score
+                    parent = dep
+            if parent is None:
+                base, near, mid, far = uop.exec_lat, 0, 0, 0
+            else:
+                base = depth_base[parent] + uop.exec_lat
+                near = depth_near[parent]
+                mid = depth_mid[parent]
+                far = depth_far[parent]
+            if load_class == "near":
+                near += 1
+            elif load_class == "mid":
+                mid += 1
+            elif load_class == "far":
+                far += 1
+            seq = uop.seq
+            depth_base[seq] = base
+            depth_near[seq] = near
+            depth_mid[seq] = mid
+            depth_far[seq] = far
+            score = (base + near * weight_near + mid * weight_mid
+                     + far * weight_far)
+            if score > best_score:
+                best_score = score
+                best = (base, near, mid, far)
+
+        profile.uops = n
+        profile.reuse_histogram = reuse_histogram
+        (profile.critical_path_cycles, profile.critical_path_near,
+         profile.critical_path_mid, profile.critical_path_far) = best
+        profile.icache_lines = len(icache_lines)
+        profile.data_lines = len(last_access)
+        profile.static_branch_misses = sum(
+            min(stats[0], stats[1]) for stats in branch_pcs.values())
+        profile.flip_branch_misses = sum(
+            stats[2] for stats in branch_pcs.values())
+        return profile
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def critical_path_loads(self) -> int:
+        """Total non-forwarded loads on the critical chain."""
+        return (self.critical_path_near + self.critical_path_mid
+                + self.critical_path_far)
+
+    @property
+    def demand_loads(self) -> int:
+        """Loads that actually reach the cache hierarchy."""
+        return self.loads - self.forwarded_loads
+
+    @property
+    def strided_fraction(self) -> float:
+        """Fraction of loads with a repeating prefetchable stride."""
+        if self.loads == 0:
+            return 0.0
+        return self.strided_loads / self.loads
+
+    @property
+    def large_stride_fraction(self) -> float:
+        """Fraction of loads striding past the stream prefetcher's
+        reach — a DRAM row-conflict signal."""
+        if self.loads == 0:
+            return 0.0
+        return self.large_strided_loads / self.loads
+
+    def predicted_branch_misses(self) -> int:
+        """Mispredicts a per-branch direction predictor cannot beat.
+
+        The real frontend keeps per-branch state, so it does at least as
+        well as the better of the always-majority and last-outcome
+        predictors captured during profiling.
+        """
+        return min(self.static_branch_misses, self.flip_branch_misses)
+
+    def reuse_split(self, l1_capacity_lines: float,
+                    llc_capacity_lines: float) -> Tuple[int, int, int]:
+        """Partition demand loads into (l1_hits, llc_hits, dram) counts.
+
+        ``*_capacity_lines`` are *effective* capacities in the reuse
+        histogram's access-gap units — the model applies its locality
+        factor before calling this.
+        """
+        l1_hits = 0
+        llc_hits = 0
+        dram = 0
+        for bucket, count in self.reuse_histogram.items():
+            gap = 1 << bucket if bucket < COLD_BUCKET else None
+            if gap is not None and gap <= l1_capacity_lines:
+                l1_hits += count
+            elif gap is not None and gap <= llc_capacity_lines:
+                llc_hits += count
+            else:
+                dram += count
+        return l1_hits, llc_hits, dram
+
+    # ------------------------------------------------------------------
+    # serialization (for on-disk profile caching by the screening tier)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "name": self.name,
+            "uops": self.uops,
+            "class_counts": dict(self.class_counts),
+            "branches": self.branches,
+            "cond_branches": self.cond_branches,
+            "taken_branches": self.taken_branches,
+            "static_branch_misses": self.static_branch_misses,
+            "flip_branch_misses": self.flip_branch_misses,
+            "loads": self.loads,
+            "forwarded_loads": self.forwarded_loads,
+            "stores": self.stores,
+            "strided_loads": self.strided_loads,
+            "large_strided_loads": self.large_strided_loads,
+            "reuse_histogram": {str(bucket): count for bucket, count
+                                in sorted(self.reuse_histogram.items())},
+            "critical_path_cycles": self.critical_path_cycles,
+            "critical_path_near": self.critical_path_near,
+            "critical_path_mid": self.critical_path_mid,
+            "critical_path_far": self.critical_path_far,
+            "icache_lines": self.icache_lines,
+            "data_lines": self.data_lines,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TraceProfile":
+        version = payload.get("schema_version")
+        if version != PROFILE_SCHEMA_VERSION:
+            raise ValueError(
+                f"profile schema {version!r} != {PROFILE_SCHEMA_VERSION}"
+                " (rebuild the profile)")
+        profile = cls(name=str(payload["name"]))
+        for key in ("uops", "branches", "cond_branches", "taken_branches",
+                    "static_branch_misses", "flip_branch_misses", "loads",
+                    "forwarded_loads", "stores", "strided_loads",
+                    "large_strided_loads",
+                    "critical_path_cycles", "critical_path_near",
+                    "critical_path_mid", "critical_path_far",
+                    "icache_lines", "data_lines"):
+            setattr(profile, key, int(payload[key]))  # type: ignore[arg-type]
+        counts = payload["class_counts"]
+        profile.class_counts = {str(k): int(v)  # type: ignore[arg-type]
+                                for k, v in counts.items()}  # type: ignore[union-attr]
+        histogram = payload["reuse_histogram"]
+        profile.reuse_histogram = {int(k): int(v)  # type: ignore[arg-type]
+                                   for k, v in histogram.items()}  # type: ignore[union-attr]
+        return profile

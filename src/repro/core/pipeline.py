@@ -22,13 +22,13 @@ from typing import Dict, List, Optional, Sequence
 from ..config import SimConfig
 from ..frontend import BranchUnit
 from ..isa.dynuop import DynUop
+from ..isa.ports import UOPS_PER_ICACHE_LINE
 from ..memory import MemoryHierarchy
 from ..stats import Counters, MLPTracker, RobStallProfiler, SimResult
 from .rob import COMPLETE, ISSUED, READY, WAITING, RobEntry
 from .sched import SchedulerStats
 
-#: Instructions per 64B I-cache line (4-byte encoding).
-UOPS_PER_ICACHE_LINE = 16
+__all__ = ["BaselinePipeline", "UOPS_PER_ICACHE_LINE"]
 
 
 class BaselinePipeline:

@@ -59,7 +59,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..stats.metrics import geomean, mean, percent_delta
+from ..stats.metrics import MetricDomainError, geomean, mean, percent_delta
 from ..workloads import DEFAULT_SEED, suite_names
 from .engine import code_salt
 from .tables import render_table
@@ -181,6 +181,22 @@ def format_value(unit: str, value: float) -> str:
 # cache memoizes them across invocations, and the Fig. 13-16 + ablation
 # claims share one in-process comparison per (names, scale, seed).
 
+def _claim_geomean(values) -> float:
+    """Geomean with the figure-extractor contract.
+
+    :func:`repro.stats.metrics.geomean` raises
+    :class:`~repro.stats.metrics.MetricDomainError` on empty or
+    non-positive input; for an extractor that means the claim's kernel
+    list filtered to nothing (or a run produced a zero metric), which
+    the registry reports as the sentinel value 0.0 — a guaranteed
+    ``diverged`` verdict — rather than crashing the whole registry run.
+    """
+    try:
+        return geomean(values)
+    except MetricDomainError:
+        return 0.0
+
+
 def _comparison_geomeans(profile: Profile, seed: int) -> Dict[str, float]:
     """Geomean CDF/PRE ratios for speedup, MLP, traffic, and energy."""
     from .experiments import get_comparison
@@ -188,11 +204,12 @@ def _comparison_geomeans(profile: Profile, seed: int) -> Dict[str, float]:
     results = get_comparison(profile.names, profile.scale, seed)
     out: Dict[str, float] = {}
     for mode in ("cdf", "pre"):
-        out[f"speedup_{mode}"] = geomean(speedups(results, mode).values())
+        out[f"speedup_{mode}"] = _claim_geomean(
+            speedups(results, mode).values())
         for metric, method in (("mlp", "mlp_ratio"),
                                ("traffic", "traffic_ratio"),
                                ("energy", "energy_ratio")):
-            out[f"{metric}_{mode}"] = geomean(
+            out[f"{metric}_{mode}"] = _claim_geomean(
                 getattr(by_mode[mode], method)(by_mode["baseline"])
                 for by_mode in results.values())
     return out

@@ -46,14 +46,21 @@ real ``$REPRO_CACHE_DIR``:
     resolved once per process; see :mod:`repro.engine_select`) after
     one untimed warm-up pass.  The numpy column is ``None`` when numpy
     is not installed.
+``analytic_profile_s`` / ``analytic_per_config_s``
+    The analytic screening tier (docs/analytic.md): best-of-reps CPU
+    time to build every suite :class:`~repro.analytic.TraceProfile`,
+    and the mean model-evaluation time per (kernel, config) point.
 
 Absolute seconds are machine-dependent, so cross-machine comparisons
 (CI) use the *derived ratios* — ``trace_compile_speedup``
 (functional/trace-load), ``cold_over_warm``, ``warm_over_obs``
 (warm/obs-instrumented; ~1.0, drops when telemetry gets expensive),
-and ``event_engine_speedup`` (naive/event simulation time; drops
+``event_engine_speedup`` (naive/event simulation time; drops
 toward or below 1.0 if the event engine's scheduling bookkeeping ever
-costs more than the cycles it skips) — which track the architecture of
+costs more than the cycles it skips), and ``screen_speedup``
+(event-loop simulation time over the analytic tier's profile+score
+time for the same suite; the screening tier's reason to exist — its
+committed floor is 50x) — which track the architecture of
 the code rather than the speed of the host.  Same-machine comparisons
 (a developer re-running ``repro-sim perf``) use the raw timings with a
 noise tolerance band.
@@ -81,7 +88,9 @@ from .engine import Engine, Job
 #: v2: added the obs-overhead column (``sweep_obs_s`` / ``warm_over_obs``).
 #: v3: event-engine columns (``sweep_event_s`` / ``sweep_naive_s`` /
 #: ``event_engine_speedup``) and per-``REPRO_ENGINE`` decode timings.
-SCHEMA_VERSION = 3
+#: v4: analytic fast-tier columns (``analytic_profile_s`` /
+#: ``analytic_per_config_s`` / ``screen_speedup``); see docs/analytic.md.
+SCHEMA_VERSION = 4
 
 #: Default report filename, written to the current directory (the repo
 #: root in CI and in the documented workflow).
@@ -201,6 +210,57 @@ def _event_vs_reference(scale: float,
     return event_s, naive_s
 
 
+def _analytic_timing(scale: float,
+                     reps: int) -> Tuple[float, float, float]:
+    """``(analytic_profile_s, analytic_suite_s, analytic_per_config_s)``.
+
+    Times the analytic fast tier over the same suite the
+    ``sweep_event_s`` column simulates: best-of-reps CPU time to build
+    every :class:`~repro.analytic.TraceProfile` (traces pre-loaded, as
+    in a warm screening sweep) and to score every ``(kernel, mode)``
+    point.  ``analytic_suite_s`` — grid-amortized profile build plus
+    one evaluation per point — is the screening tier's per-grid-point
+    cost for the whole suite, and ``sweep_event_s / analytic_suite_s``
+    is the committed ``screen_speedup`` ratio.  Model evaluations are microseconds, so
+    the per-config column is measured over many repeated evaluations.
+    """
+    from ..analytic import AnalyticModel, TraceProfile
+    from .runner import config_for_mode, load_workload
+    from .sweep import QUICK_SCREEN_SWEEPS
+
+    # A screening sweep builds each profile once and scores it at every
+    # grid point, so the suite cost charges each profile 1/grid of its
+    # build time — the pinned QUICK grids set the amortization.
+    grid = min(len(values) for values in QUICK_SCREEN_SWEEPS.values())
+
+    traces = {}
+    for name, _mode in PERF_SUITE:
+        traces[name] = load_workload(name, scale).trace()
+    configs = [(name, config_for_mode(mode)) for name, mode in PERF_SUITE]
+    model = AnalyticModel()
+    evals_per_rep = 50
+
+    profile_s = suite_eval_s = None
+    for _ in range(reps):
+        start = time.process_time()
+        profiles = {name: TraceProfile.from_trace(trace, name=name)
+                    for name, trace in traces.items()}
+        elapsed = time.process_time() - start
+        profile_s = elapsed if profile_s is None \
+            else min(profile_s, elapsed)
+
+        start = time.process_time()
+        for _ in range(evals_per_rep):
+            for name, config in configs:
+                model.predict(profiles[name], config)
+        elapsed = (time.process_time() - start) / evals_per_rep
+        suite_eval_s = elapsed if suite_eval_s is None \
+            else min(suite_eval_s, elapsed)
+
+    per_config_s = suite_eval_s / len(PERF_SUITE)
+    return profile_s, profile_s / grid + suite_eval_s, per_config_s
+
+
 def _decode_variant_timing(variant: str, scale: float,
                            reps: int) -> Optional[float]:
     """Best-of-reps suite decode time under ``REPRO_ENGINE=variant``.
@@ -231,6 +291,13 @@ def _decode_variant_timing(variant: str, scale: float,
         "print(repr(min(once() for _ in range(reps))))\n")
     env = dict(os.environ)
     env["REPRO_ENGINE"] = variant
+    # The child must find `repro` however the parent did (installed,
+    # PYTHONPATH=src, or pytest's pyproject `pythonpath`, which does
+    # not propagate to subprocesses) — pin our own package root.
+    pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p)
     out = subprocess.run(
         [sys.executable, "-c", script, str(reps), str(scale)],
         env=env, capture_output=True, text=True, check=True)
@@ -288,6 +355,11 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
         note(f"event vs reference loop x{reps} (interleaved, sim only)")
         sweep_event_s, sweep_naive_s = _event_vs_reference(scale, reps)
 
+        # Analytic fast tier over the same suite (docs/analytic.md).
+        note(f"analytic fast tier x{reps} (profiles + model evals)")
+        analytic_profile_s, analytic_suite_s, analytic_per_config_s = \
+            _analytic_timing(scale, reps)
+
         # Per-REPRO_ENGINE decode timing (fresh subprocess per variant).
         note("trace decode per engine variant (subprocesses)")
         trace_load_python_s = _decode_variant_timing("python", scale, reps)
@@ -318,6 +390,8 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
             "sweep_obs_s": round(sweep_obs_s, 4),
             "sweep_event_s": round(sweep_event_s, 4),
             "sweep_naive_s": round(sweep_naive_s, 4),
+            "analytic_profile_s": round(analytic_profile_s, 4),
+            "analytic_per_config_s": round(analytic_per_config_s, 6),
             "trace_load_python_s": (
                 round(trace_load_python_s, 4)
                 if trace_load_python_s is not None else None),
@@ -334,6 +408,9 @@ def run_perfbench(smoke: bool = False, reps: Optional[int] = None,
                 sweep_warm_s / sweep_obs_s, 3) if sweep_obs_s else 0.0,
             "event_engine_speedup": round(
                 sweep_naive_s / sweep_event_s, 3) if sweep_event_s else 0.0,
+            "screen_speedup": round(
+                sweep_event_s / analytic_suite_s,
+                3) if analytic_suite_s else 0.0,
         },
         "env": {
             "python": platform.python_version(),

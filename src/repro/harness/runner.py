@@ -12,8 +12,8 @@ a persistent on-disk result cache. See docs/harness.md.
 
 from __future__ import annotations
 
-import math
 import os
+import warnings
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -22,7 +22,7 @@ from ..config import SimConfig
 from ..core import BaselinePipeline
 from ..energy import EnergyModel
 from ..runahead import PREPipeline
-from ..stats import SimResult, mark_critical_chains
+from ..stats import SimResult, mark_critical_chains, metrics
 from ..workloads import DEFAULT_SEED, Workload, get_workload
 from .tracestore import get_trace_store, trace_store_enabled
 
@@ -39,12 +39,33 @@ _workload_cache: "OrderedDict[Tuple[str, float, int], Workload]" = \
     OrderedDict()
 
 
+#: One warning per process for a malformed ``$REPRO_WORKLOAD_CACHE``
+#: (the capacity is re-read on every eviction check, so warning on each
+#: parse would flood long sweeps).
+_warned_bad_workload_cache = False
+
+
 def workload_cache_capacity() -> int:
-    """Entry cap from ``$REPRO_WORKLOAD_CACHE`` (default 8, min 1)."""
+    """Entry cap from ``$REPRO_WORKLOAD_CACHE`` (default 8, min 1).
+
+    A non-integer value falls back to the default with a single warning
+    — the same degrade-don't-die contract as ``REPRO_STRICT=0``
+    (see :mod:`repro.stats.registry`).
+    """
+    global _warned_bad_workload_cache  # simlint: disable=CONC001 warn-once latch, process-local by design
+    raw = os.environ.get(WORKLOAD_CACHE_ENV)
+    if raw is None:
+        return DEFAULT_WORKLOAD_CACHE
     try:
-        return max(1, int(os.environ.get(
-            WORKLOAD_CACHE_ENV, str(DEFAULT_WORKLOAD_CACHE))))
+        return max(1, int(raw))
     except ValueError:
+        if not _warned_bad_workload_cache:
+            _warned_bad_workload_cache = True
+            warnings.warn(
+                f"ignoring non-integer {WORKLOAD_CACHE_ENV}={raw!r}; "
+                f"using the default capacity of "
+                f"{DEFAULT_WORKLOAD_CACHE}", RuntimeWarning,
+                stacklevel=2)
         return DEFAULT_WORKLOAD_CACHE
 
 
@@ -201,11 +222,18 @@ def run_comparison(names: Iterable[str], modes: Iterable[str] = MODES,
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; ignores non-positive values defensively."""
-    values = [v for v in values if v > 0]
-    if not values:
+    """Defensive geometric mean for sweep/figure reducers.
+
+    Non-positive values (a diverged zero-IPC point) are dropped and an
+    empty input yields 0.0 — the long-standing harness behaviour the
+    figure drivers and their pinned outputs rely on.  The strict
+    variant, which raises a typed :class:`repro.stats.metrics.
+    MetricDomainError` instead, is :func:`repro.stats.metrics.geomean`.
+    """
+    positive = [v for v in values if v > 0]
+    if not positive:
         return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return metrics.geomean(positive)
 
 
 def speedups(results: Dict[str, Dict[str, SimResult]],

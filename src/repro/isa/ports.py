@@ -1,0 +1,80 @@
+"""Per-opcode execution-port and latency metadata for the uop ISA.
+
+The cycle-accurate pipelines consume :data:`~repro.isa.opcodes.EXEC_CLASS`
+and :data:`~repro.isa.opcodes.EXEC_LATENCY` indirectly, through the
+``DynUop`` records the functional simulator emits.  The analytical fast
+tier (:mod:`repro.analytic`) needs the same information *as a table* —
+which port class every opcode issues on, its execution latency, and
+whether the port is pipelined — because it reasons about port pressure
+and dependency chains without replaying uops.  This module is that
+table, derived from the opcode definitions so the two tiers can never
+disagree.
+
+It also owns the ISA-level fetch geometry (:data:`UOPS_PER_ICACHE_LINE`)
+that both the cycle-accurate frontend and the analytical frontend model
+use to map program counters onto I-cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .opcodes import EXEC_CLASS, EXEC_LATENCY, Opcode
+
+__all__ = [
+    "PORT_CLASSES",
+    "PORT_TABLE",
+    "UOPS_PER_ICACHE_LINE",
+    "UopPortSpec",
+    "port_spec",
+]
+
+#: Uops packed into one I-cache line (fetch geometry; PCs are uop
+#: indices in this ISA, so a 64B line holds 16 4-byte uop slots).  The
+#: cycle-accurate fetch stage and the analytical frontend model share
+#: this constant.
+UOPS_PER_ICACHE_LINE = 16
+
+#: Every execution-port class, in a stable order: simple integer +
+#: control ('alu'), long-latency integer ('muldiv'), floating point
+#: ('fp'), load and store pipes.  Port counts per class come from
+#: :class:`repro.config.CoreConfig` (``num_alu_ports`` et al.).
+PORT_CLASSES: Tuple[str, ...] = ("alu", "muldiv", "fp", "load", "store")
+
+
+@dataclass(frozen=True)
+class UopPortSpec:
+    """Issue metadata for one opcode.
+
+    ``port``
+        The execution-port class the opcode competes for (one of
+        :data:`PORT_CLASSES`).
+    ``latency``
+        Execution latency in cycles once operands are ready.  For
+        memory opcodes this is the address-generation latency only;
+        the cache hierarchy adds the memory latency.
+    ``pipelined``
+        Whether a port can accept a new uop of this opcode every cycle.
+        Every unit in the modelled core is fully pipelined (the
+        cycle-accurate issue stage charges one port slot per uop
+        regardless of latency), so this is uniformly True — kept
+        explicit so an unpipelined divider would be a one-line change
+        visible to both tiers.
+    """
+
+    port: str
+    latency: int
+    pipelined: bool = True
+
+
+#: Opcode -> issue metadata, derived from the opcode tables.
+PORT_TABLE: Dict[Opcode, UopPortSpec] = {
+    op: UopPortSpec(port=EXEC_CLASS[op], latency=EXEC_LATENCY[op])
+    for op in Opcode
+}
+
+
+def port_spec(op: Opcode) -> UopPortSpec:
+    """The :class:`UopPortSpec` for *op* (KeyError on unknown opcodes)."""
+    return PORT_TABLE[op]

@@ -1,7 +1,7 @@
 """Statistics: counters, MLP measurement, ROB-stall profiling, results."""
 
 from .counters import Counters
-from .metrics import geomean, mean, percent_delta, ratio_of
+from .metrics import MetricDomainError, geomean, mean, percent_delta, ratio_of
 from .mlp import MLPTracker
 from .registry import (
     COUNTERS,
@@ -18,6 +18,7 @@ __all__ = [
     "Counters",
     "DYNAMIC_COUNTERS",
     "MLPTracker",
+    "MetricDomainError",
     "RobStallProfiler",
     "SimResult",
     "UnknownCounterError",

@@ -18,6 +18,7 @@ import math
 from typing import Iterable
 
 __all__ = [
+    "MetricDomainError",
     "geomean",
     "mean",
     "percent_delta",
@@ -25,18 +26,46 @@ __all__ = [
 ]
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; ignores non-positive values defensively.
+class MetricDomainError(ValueError):
+    """A metric helper received input outside its mathematical domain.
 
-    An empty (or all-non-positive) input yields 0.0 rather than raising,
-    matching the long-standing harness behaviour the figure drivers and
-    their pinned outputs rely on.
+    Raised instead of a bare ``ValueError``/``math domain error`` so
+    callers can distinguish "a claim's kernel list filtered to nothing"
+    from an arbitrary arithmetic bug and decide their own policy (the
+    figure extractors report such claims as diverged; see
+    ``repro.harness.figures``).
     """
-    positive = [value for value in values if value > 0]
-    if not positive:
-        return 0.0
-    return math.exp(sum(math.log(value) for value in positive)
-                    / len(positive))
+
+    def __init__(self, message: str, offending: object = None) -> None:
+        super().__init__(message)
+        #: The value (or lack of one) that violated the domain.
+        self.offending = offending
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The geometric mean is undefined for an empty sequence and for
+    non-positive values; both raise :class:`MetricDomainError` naming
+    the offending input instead of a bare ``math`` error from deep
+    inside the log.  Callers that legitimately see empty or mixed-sign
+    inputs (a figure claim whose kernel list filtered to nothing, a
+    sweep containing a zero-IPC point) must filter or catch explicitly
+    — see ``repro.harness.runner.geomean`` for the defensive wrapper
+    the sweep reducers use.
+    """
+    listed = list(values)
+    if not listed:
+        raise MetricDomainError(
+            "geomean of an empty sequence is undefined (did a kernel "
+            "list filter to nothing?)", offending=None)
+    for value in listed:
+        if value <= 0:
+            raise MetricDomainError(
+                f"geomean is undefined for non-positive value {value!r}",
+                offending=value)
+    return math.exp(sum(math.log(value) for value in listed)
+                    / len(listed))
 
 
 def mean(values: Iterable[float]) -> float:

@@ -156,6 +156,12 @@ COUNTERS: Dict[str, str] = {
     "service_redundant_results": "late results for already-done jobs",
     "service_journal_replays": "service starts that replayed a journal",
     "service_checkpoints": "atomic state checkpoints written",
+    # ------------------------------------------------ analytic screening
+    # (repro.harness.engine.ScreeningEngine / repro.harness.sweep)
+    "screen_profiles_built": "trace profiles built for analytic scoring",
+    "screen_configs_scored": "configs scored by the analytic model",
+    "screen_configs_promoted": "screened points promoted to full sim",
+    "screen_configs_pruned": "screened points dropped without simulating",
 }
 
 #: Dynamic counter families: ``{}``-template (what the static checker

@@ -1,0 +1,70 @@
+"""Regression tests against the committed analytic error bands.
+
+``benchmarks/analytic_baseline.json`` pins, for every suite kernel and
+mode, the cycle-accurate IPC, the analytic prediction, and the signed
+error at the perf-suite scale.  Two properties are enforced:
+
+* the **pinned** perf-suite kernels stay inside the accuracy gate
+  (|error| <= gate_pct) — the model may not silently degrade on the
+  kernels its calibration constants were fitted against;
+* the analytic predictions themselves are **reproducible**: profiling
+  is deterministic, so a drifted prediction means the model or profiler
+  changed and the baseline (and its calibration) must be regenerated
+  deliberately, not by accident.
+
+Held-out kernels are recorded in the same file but only sanity-checked
+(the model was never fitted on them; their errors are informational).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analytic import TraceProfile, predict_ipc
+from repro.harness.runner import config_for_mode, load_workload
+from repro.workloads import suite_names
+
+BASELINE = (Path(__file__).resolve().parents[2]
+            / "benchmarks" / "analytic_baseline.json")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE) as handle:
+        return json.load(handle)
+
+
+def test_baseline_covers_the_whole_suite(baseline):
+    assert baseline["schema"] == 1
+    assert set(baseline["kernels"]) == set(suite_names())
+    for name, by_mode in baseline["kernels"].items():
+        assert set(by_mode) == {"baseline", "cdf", "pre"}, name
+        for mode, band in by_mode.items():
+            assert band["sim_ipc"] > 0
+            assert band["analytic_ipc"] > 0
+
+
+def test_pinned_kernels_stay_inside_the_accuracy_gate(baseline):
+    gate = baseline["gate_pct"]
+    for name in baseline["pinned"]:
+        for mode, band in baseline["kernels"][name].items():
+            assert abs(band["error_pct"]) <= gate, (
+                f"{name}/{mode}: committed error {band['error_pct']}% "
+                f"outside the {gate}% gate — recalibrate the model")
+
+
+def test_pinned_predictions_reproduce(baseline):
+    scale = baseline["scale"]
+    seed = baseline["seed"]
+    for name in baseline["pinned"]:
+        profile = TraceProfile.from_trace(
+            load_workload(name, scale, seed).trace(), name=name)
+        for mode, band in baseline["kernels"][name].items():
+            ipc = predict_ipc(profile, config_for_mode(mode))
+            assert ipc == pytest.approx(band["analytic_ipc"],
+                                        abs=5e-4), (
+                f"{name}/{mode}: analytic prediction drifted from the "
+                f"committed baseline — regenerate "
+                f"benchmarks/analytic_baseline.json (which re-runs the "
+                f"error-band validation) if the change is intentional")

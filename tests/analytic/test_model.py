@@ -1,0 +1,68 @@
+"""Unit tests for the analytical throughput model."""
+
+import pytest
+
+from repro.analytic import AnalyticModel, TraceProfile, predict_ipc
+from repro.harness.runner import config_for_mode, load_workload
+from repro.harness.sweep import (
+    llc_size_knob,
+    memory_speed_knob,
+    mshr_knob,
+)
+
+SMALL = 0.1
+
+
+@pytest.fixture(scope="module")
+def mcf_profile():
+    workload = load_workload("mcf", SMALL)
+    return TraceProfile.from_trace(workload.trace(), name="mcf")
+
+
+def test_prediction_shape(mcf_profile):
+    prediction = AnalyticModel().predict(mcf_profile,
+                                         config_for_mode("baseline"))
+    assert prediction.cycles >= 1.0
+    assert prediction.ipc == pytest.approx(
+        mcf_profile.uops / prediction.cycles)
+    assert prediction.bottleneck in prediction.bounds
+    assert all(value >= 0.0 for value in prediction.bounds.values())
+    assert predict_ipc(mcf_profile, config_for_mode("baseline")) == \
+        pytest.approx(prediction.ipc)
+
+
+def test_faster_memory_never_hurts(mcf_profile):
+    slow = memory_speed_knob(config_for_mode("baseline"), 2.0)
+    fast = memory_speed_knob(config_for_mode("baseline"), 0.5)
+    assert predict_ipc(mcf_profile, fast) >= \
+        predict_ipc(mcf_profile, slow)
+
+
+def test_more_mshrs_never_hurt(mcf_profile):
+    starved = mshr_knob(config_for_mode("baseline"), 1)
+    roomy = mshr_knob(config_for_mode("baseline"), 16)
+    assert predict_ipc(mcf_profile, roomy) >= \
+        predict_ipc(mcf_profile, starved)
+
+
+def test_bigger_llc_never_hurts(mcf_profile):
+    small = llc_size_knob(config_for_mode("baseline"), 128 * 1024)
+    big = llc_size_knob(config_for_mode("baseline"), 8 * 1024 * 1024)
+    assert predict_ipc(mcf_profile, big) >= \
+        predict_ipc(mcf_profile, small)
+
+
+def test_mode_uplift_is_modest(mcf_profile):
+    """CDF/PRE help only through MLP — bounded, never a regression."""
+    base = predict_ipc(mcf_profile, config_for_mode("baseline"))
+    cdf = predict_ipc(mcf_profile, config_for_mode("cdf"))
+    pre = predict_ipc(mcf_profile, config_for_mode("pre"))
+    assert base <= cdf <= base * 1.25
+    assert base <= pre <= base * 1.25
+
+
+def test_empty_profile_predicts_without_dividing_by_zero():
+    prediction = AnalyticModel().predict(TraceProfile(name="empty"),
+                                         config_for_mode("baseline"))
+    assert prediction.cycles >= 1.0
+    assert prediction.ipc > 0.0

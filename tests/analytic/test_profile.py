@@ -1,0 +1,149 @@
+"""Unit tests for the config-independent trace profiler."""
+
+import pytest
+
+from repro.analytic import PROFILE_SCHEMA_VERSION, TraceProfile
+from repro.analytic.profile import COLD_BUCKET, PREFETCHABLE_STRIDE_BYTES
+from repro.isa.dynuop import DynUop
+
+
+def uop(seq, pc=0, exec_class="alu", exec_lat=1, is_load=False,
+        is_store=False, is_branch=False, is_cond_branch=False,
+        mem_addr=None, taken=False, src_deps=(), store_dep=-1):
+    return DynUop(seq=seq, pc=pc, op=0, dst=1, srcs=(),
+                  exec_lat=exec_lat, is_load=is_load, is_store=is_store,
+                  is_branch=is_branch, is_cond_branch=is_cond_branch,
+                  mem_addr=mem_addr, taken=taken, next_pc=pc + 1,
+                  src_deps=tuple(src_deps), store_dep=store_dep,
+                  exec_class=exec_class)
+
+
+def test_class_counts_and_basic_tallies():
+    trace = [
+        uop(0, exec_class="alu"),
+        uop(1, exec_class="fp"),
+        uop(2, exec_class="load", is_load=True, mem_addr=0),
+        uop(3, exec_class="store", is_store=True, mem_addr=64),
+        uop(4, exec_class="muldiv", exec_lat=12),
+    ]
+    profile = TraceProfile.from_trace(trace, name="synthetic")
+    assert profile.name == "synthetic"
+    assert profile.uops == 5
+    assert profile.class_counts["alu"] == 1
+    assert profile.class_counts["fp"] == 1
+    assert profile.class_counts["load"] == 1
+    assert profile.class_counts["store"] == 1
+    assert profile.class_counts["muldiv"] == 1
+    assert profile.loads == 1
+    assert profile.stores == 1
+    assert profile.data_lines == 2
+
+
+def test_forwarded_loads_skip_the_reuse_histogram():
+    trace = [
+        uop(0, is_store=True, exec_class="store", mem_addr=128),
+        uop(1, is_load=True, exec_class="load", mem_addr=128,
+            store_dep=0),
+    ]
+    profile = TraceProfile.from_trace(trace)
+    assert profile.forwarded_loads == 1
+    assert profile.demand_loads == 0
+    assert profile.reuse_histogram == {}
+
+
+def test_cold_loads_land_in_the_cold_bucket():
+    trace = [uop(i, is_load=True, exec_class="load", mem_addr=i * 64)
+             for i in range(4)]
+    profile = TraceProfile.from_trace(trace)
+    assert profile.reuse_histogram == {COLD_BUCKET: 4}
+    # Cold misses never count as capacity hits, whatever the capacity.
+    assert profile.reuse_split(1 << 30, 1 << 40) == (0, 0, 4)
+
+
+def test_reuse_split_partitions_by_gap():
+    # Touch line 0, then 2 other lines, then line 0 again: gap of 3.
+    trace = [
+        uop(0, is_load=True, exec_class="load", mem_addr=0),
+        uop(1, is_load=True, exec_class="load", mem_addr=64),
+        uop(2, is_load=True, exec_class="load", mem_addr=128),
+        uop(3, is_load=True, exec_class="load", mem_addr=0),
+    ]
+    profile = TraceProfile.from_trace(trace)
+    # 3 cold + one reuse with gap 3 (bucket 2).
+    assert profile.reuse_histogram[COLD_BUCKET] == 3
+    assert profile.reuse_histogram[2] == 1
+    l1, llc, dram = profile.reuse_split(16, 1024)
+    assert (l1, llc, dram) == (1, 0, 3)
+    l1, llc, dram = profile.reuse_split(2, 1024)
+    assert (l1, llc, dram) == (0, 1, 3)
+
+
+def test_stride_classification_small_vs_large():
+    small = [uop(i, pc=5, is_load=True, exec_class="load",
+                 mem_addr=i * 64) for i in range(8)]
+    profile = TraceProfile.from_trace(small)
+    # The stride is confirmed from the third access on.
+    assert profile.strided_loads == 6
+    assert profile.large_strided_loads == 0
+    assert profile.strided_fraction == pytest.approx(6 / 8)
+
+    big_stride = PREFETCHABLE_STRIDE_BYTES * 16
+    large = [uop(i, pc=5, is_load=True, exec_class="load",
+                 mem_addr=i * big_stride) for i in range(8)]
+    profile = TraceProfile.from_trace(large)
+    assert profile.strided_loads == 0
+    assert profile.large_strided_loads == 6
+    assert profile.large_stride_fraction == pytest.approx(6 / 8)
+
+
+def test_branch_direction_bounds():
+    # One branch PC, outcomes T T T N T N: majority=T so static bound
+    # is 2; transitions T->N->T->N = 3 flips.
+    outcomes = [True, True, True, False, True, False]
+    trace = [uop(i, pc=7, is_branch=True, is_cond_branch=True,
+                 taken=taken) for i, taken in enumerate(outcomes)]
+    profile = TraceProfile.from_trace(trace)
+    assert profile.branches == 6
+    assert profile.cond_branches == 6
+    assert profile.taken_branches == 4
+    assert profile.static_branch_misses == 2
+    assert profile.flip_branch_misses == 3
+    assert profile.predicted_branch_misses() == 2
+
+
+def test_critical_path_follows_the_longest_chain():
+    # A 3-uop dependent chain (latency 1 each) beats two independent
+    # uops; the chain's cold load contributes to the far class.
+    trace = [
+        uop(0, exec_lat=1),
+        uop(1, is_load=True, exec_class="load", mem_addr=0, exec_lat=1,
+            src_deps=(0,)),
+        uop(2, exec_lat=1, src_deps=(1,)),
+        uop(3, exec_lat=1),
+    ]
+    profile = TraceProfile.from_trace(trace)
+    assert profile.critical_path_cycles == 3
+    assert profile.critical_path_far == 1
+    assert profile.critical_path_near == 0
+    assert profile.critical_path_loads == 1
+
+
+def test_round_trip_through_dict():
+    trace = [
+        uop(0, is_load=True, exec_class="load", mem_addr=0),
+        uop(1, pc=3, is_branch=True, is_cond_branch=True, taken=True),
+        uop(2, is_store=True, exec_class="store", mem_addr=0,
+            src_deps=(0,)),
+    ]
+    profile = TraceProfile.from_trace(trace, name="rt")
+    payload = profile.to_dict()
+    assert payload["schema_version"] == PROFILE_SCHEMA_VERSION
+    restored = TraceProfile.from_dict(payload)
+    assert restored == profile
+
+
+def test_from_dict_rejects_other_schema_versions():
+    payload = TraceProfile.from_trace([], name="x").to_dict()
+    payload["schema_version"] = PROFILE_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="rebuild"):
+        TraceProfile.from_dict(payload)

@@ -225,3 +225,28 @@ def test_perf_subcommand_writes_report_and_compares(capsys, tmp_path,
                         "--output", str(report_path),
                         "--baseline", str(floors))
     assert code == 0
+
+
+def test_sweep_subcommand_plain(capsys):
+    code, out = run_cli(capsys, "sweep", "--knob", "mshrs",
+                        "--values", "2", "16", "--benchmarks", "bzip",
+                        "--modes", "baseline", "cdf", "--scale", "0.1")
+    assert code == 0
+    assert "sweep: mshrs" in out
+    assert "cdf" in out
+
+
+def test_sweep_subcommand_screened(capsys, tmp_path):
+    out_path = tmp_path / "screen.json"
+    code, out = run_cli(capsys, "sweep", "--knob", "mshrs", "--screen",
+                        "--values", "1", "2", "4", "8", "16",
+                        "--benchmarks", "bzip", "--modes", "baseline",
+                        "--scale", "0.1", "--top-k", "2",
+                        "--epsilon", "0.0", "--measure-recall",
+                        "--out", str(out_path))
+    assert "screened sweep: mshrs" in out
+    assert "recall:" in out
+    import json
+    payload = json.loads(out_path.read_text())
+    assert set(payload) >= {"scores", "promoted", "pruned", "recall"}
+    assert code == (0 if payload["recall"] == 1.0 else 1)

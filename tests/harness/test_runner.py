@@ -80,3 +80,34 @@ def test_geomean():
     assert geomean([1.0, 4.0]) == pytest.approx(2.0)
     assert geomean([]) == 0.0
     assert geomean([2.0, 0.0, -1.0]) == pytest.approx(2.0)  # ignores <= 0
+
+
+def test_workload_cache_capacity_env(monkeypatch):
+    from repro.harness import runner
+
+    monkeypatch.delenv(runner.WORKLOAD_CACHE_ENV, raising=False)
+    assert runner.workload_cache_capacity() == \
+        runner.DEFAULT_WORKLOAD_CACHE
+    monkeypatch.setenv(runner.WORKLOAD_CACHE_ENV, "3")
+    assert runner.workload_cache_capacity() == 3
+    monkeypatch.setenv(runner.WORKLOAD_CACHE_ENV, "0")
+    assert runner.workload_cache_capacity() == 1    # clamped
+
+
+def test_workload_cache_bad_env_warns_once(monkeypatch):
+    import warnings
+
+    from repro.harness import runner
+
+    monkeypatch.setenv(runner.WORKLOAD_CACHE_ENV, "plenty")
+    monkeypatch.setattr(runner, "_warned_bad_workload_cache", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert runner.workload_cache_capacity() == \
+            runner.DEFAULT_WORKLOAD_CACHE
+        # The fallback repeats, the warning does not.
+        assert runner.workload_cache_capacity() == \
+            runner.DEFAULT_WORKLOAD_CACHE
+    assert len(caught) == 1
+    assert "plenty" in str(caught[0].message)
+    assert issubclass(caught[0].category, RuntimeWarning)

@@ -15,25 +15,27 @@ SMALL = 0.1
 
 
 def test_memory_speed_knob_scales_timings():
-    config = SimConfig.baseline()
-    memory_speed_knob(config, 0.5)
+    base = SimConfig.baseline()
+    config = memory_speed_knob(base, 0.5)
     assert config.dram.tcl == 8
     assert config.dram.trp == 8
     assert config.dram.trcd == 8
-    memory_speed_knob(config, 0.01)
-    assert config.dram.tcl >= 1     # clamped
+    floored = memory_speed_knob(config, 0.01)
+    assert floored.dram.tcl >= 1    # clamped
+    # Knobs are pure: the argument config is never touched.
+    assert base.dram.tcl == SimConfig.baseline().dram.tcl
 
 
 def test_mshr_knob():
-    config = SimConfig.baseline()
-    mshr_knob(config, 4)
+    base = SimConfig.baseline()
+    config = mshr_knob(base, 4)
     assert config.l1d.mshrs == 4
     assert config.llc.mshrs == 8
+    assert base.l1d.mshrs == SimConfig.baseline().l1d.mshrs
 
 
 def test_llc_size_knob():
-    config = SimConfig.baseline()
-    llc_size_knob(config, 512 * 1024)
+    config = llc_size_knob(SimConfig.baseline(), 512 * 1024)
     assert config.llc.size_bytes == 512 * 1024
 
 

@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,12 +8,18 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(name, *args, timeout=300):
+    # Examples are plain scripts: pyproject's pytest `pythonpath`
+    # does not reach subprocesses, so put src/ on the path explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p)
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=env)
 
 
 def test_examples_directory_contents():

@@ -1,0 +1,43 @@
+"""Unit tests for the strict scalar metric helpers."""
+
+import pytest
+
+from repro.stats import MetricDomainError
+from repro.stats.metrics import geomean, mean, percent_delta, ratio_of
+
+
+def test_geomean_of_positive_values():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_geomean_rejects_empty_input_with_typed_error():
+    with pytest.raises(MetricDomainError) as excinfo:
+        geomean([])
+    assert "empty" in str(excinfo.value)
+    assert excinfo.value.offending is None
+    # The typed error is still a ValueError for legacy handlers.
+    assert isinstance(excinfo.value, ValueError)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.5])
+def test_geomean_rejects_non_positive_values(bad):
+    with pytest.raises(MetricDomainError) as excinfo:
+        geomean([2.0, bad, 3.0])
+    assert excinfo.value.offending == bad
+
+
+def test_geomean_consumes_generators():
+    with pytest.raises(MetricDomainError):
+        geomean(v for v in ())
+    assert geomean(float(v) for v in (2, 8)) == pytest.approx(4.0)
+
+
+def test_mean_and_deltas():
+    assert mean([]) == 0.0
+    assert mean([1.0, 3.0]) == pytest.approx(2.0)
+    assert percent_delta(1.061) == pytest.approx(6.1)
+    assert percent_delta(0.965) == pytest.approx(-3.5)
+    assert ratio_of(3.0, 2.0) == pytest.approx(1.5)
+    assert ratio_of(3.0, 0.0) == 0.0
+    assert ratio_of(3.0, 0.0, default=1.0) == 1.0
